@@ -1,0 +1,118 @@
+// Command poolsim demonstrates the scale-out layer of an ASIC Cloud: a
+// TCP pool server distributing Bitcoin nonce-range jobs to a fleet of
+// worker processes (here goroutines) running the repository's own
+// SHA-256 mining core, with difficulty low enough to find shares on a
+// laptop. This is the distributed pattern the paper describes: "Machines
+// on the network request work to do from a third-party pool server."
+//
+// Usage:
+//
+//	poolsim [-workers 4] [-jobs 64] [-range 4096] [-bits 0x2000ffff]
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"asiccloud/internal/apps/bitcoin"
+	"asiccloud/internal/cloud"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("poolsim: ")
+	workers := flag.Int("workers", 4, "worker count")
+	jobs := flag.Int("jobs", 64, "nonce-range jobs to distribute")
+	rangeSize := flag.Uint64("range", 4096, "nonces per job")
+	bits := flag.Uint("bits", 0x2000ffff, "compact difficulty target")
+	flag.Parse()
+
+	header := bitcoin.Header{
+		Version: 2,
+		Time:    uint32(time.Now().Unix()),
+		Bits:    uint32(*bits),
+	}
+	diff, err := bitcoin.Difficulty(header.Bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mining at difficulty %.3g, %d jobs of %d nonces across %d workers\n",
+		diff, *jobs, *rangeSize, *workers)
+
+	jobList := make([]cloud.Job, *jobs)
+	for i := range jobList {
+		payload := make([]byte, 4)
+		binary.LittleEndian.PutUint32(payload, uint32(uint64(i)*(*rangeSize)))
+		jobList[i] = cloud.Job{ID: uint64(i + 1), Payload: payload}
+	}
+	pool := cloud.NewPool(jobList)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		if err := pool.Serve(ctx, l); err != nil {
+			log.Print(err)
+		}
+	}()
+	fmt.Println("pool listening on", l.Addr())
+
+	handler := func(j cloud.Job) ([]byte, error) {
+		start := binary.LittleEndian.Uint32(j.Payload)
+		h := header
+		nonce, found, err := bitcoin.Mine(&h, start, *rangeSize)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return nil, errors.New("range exhausted without a share")
+		}
+		out := make([]byte, 4)
+		binary.LittleEndian.PutUint32(out, nonce)
+		return out, nil
+	}
+
+	begin := time.Now()
+	total, err := cloud.RunFleet(ctx, l.Addr().String(), "miner", *workers, handler)
+	if err != nil {
+		log.Print(err)
+	}
+	elapsed := time.Since(begin)
+	fmt.Printf("fleet of %d miners processed %d jobs\n", *workers, total)
+
+	s := pool.Stats()
+	totalHashes := float64(*jobs) * float64(*rangeSize)
+	fmt.Printf("\n%d shares found, %d dry ranges in %v (%.2f MH/s across the fleet)\n",
+		s.JobsDone, s.JobsFailed, elapsed.Round(time.Millisecond),
+		totalHashes/elapsed.Seconds()/1e6)
+
+	// Verify every share.
+	verified := 0
+	for {
+		select {
+		case r := <-pool.Results():
+			if r.Err != "" {
+				continue
+			}
+			h := header
+			h.Nonce = binary.LittleEndian.Uint32(r.Output)
+			ok, err := bitcoin.CheckProofOfWork(&h)
+			if err != nil || !ok {
+				log.Fatalf("share from %s does not verify", r.Worker)
+			}
+			verified++
+		default:
+			fmt.Printf("%d shares verified against the target\n", verified)
+			return
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package asiccloud_test
+
+import (
+	"fmt"
+	"log"
+
+	"asiccloud"
+)
+
+// ExampleEvaluateNRE shows the paper's two-for-two rule: a computation
+// whose cloud TCO is twice the ASIC NRE needs a 2x TCO-per-op
+// improvement to break even.
+func ExampleEvaluateNRE() {
+	decision, err := asiccloud.EvaluateNRE(10e6, 5e6, 2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TCO/NRE ratio %.0f, breakeven %.2fx, two-for-two pass: %v\n",
+		decision.TCONRERatio, decision.RequiredSpeedup, decision.PassesTwoForTwo)
+	// Output:
+	// TCO/NRE ratio 2, breakeven 2.00x, two-for-two pass: true
+}
+
+// ExampleVoltageGrid reproduces the paper's sweep granularity: "all
+// operating voltages from 0.4 up in increments of 0.01V".
+func ExampleVoltageGrid() {
+	grid := asiccloud.VoltageGrid(0.40, 0.44)
+	fmt.Println(grid)
+	// Output:
+	// [0.4 0.41 0.42 0.43 0.44]
+}
+
+// ExamplePlanDeployment sizes the paper's §8 world-wide Litecoin fleet:
+// "1,248 servers would be sufficient to meet world-wide capacity."
+func ExamplePlanDeployment() {
+	d, err := asiccloud.PlanDeployment(asiccloud.DefaultRack(), 1164, 3401, 1452000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d servers, %.1f MW\n", d.Servers, d.TotalPowerW/1e6)
+	// Output:
+	// 1248 servers, 4.2 MW
+}
+
+// ExampleBitcoinRCA prints the published RCA constants the whole Bitcoin
+// study rests on.
+func ExampleBitcoinRCA() {
+	rca := asiccloud.BitcoinRCA()
+	fmt.Printf("%.2f mm², %.2f GH/s and %.1f W/mm² at %.1f V\n",
+		rca.Area, rca.NominalPerf, rca.NominalPowerDensity, rca.NominalVoltage)
+	// Output:
+	// 0.66 mm², 0.83 GH/s and 2.0 W/mm² at 1.0 V
+}
+
+// ExampleExplore runs the full design-space search for the Bitcoin RCA
+// and reads the TCO-optimal configuration (values are model outputs, so
+// this example prints only structure that is locked by tests).
+func ExampleExplore() {
+	result, err := asiccloud.Explore(asiccloud.Sweep{
+		Base: asiccloud.DefaultServer(asiccloud.BitcoinRCA()),
+	}, asiccloud.DefaultTCO())
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := result.TCOOptimal
+	fmt.Printf("energy-optimal voltage: %.2f V\n", result.EnergyOptimal.Config.Voltage)
+	fmt.Printf("TCO-optimal lanes: %d\n", o.Config.Lanes)
+	// Output:
+	// energy-optimal voltage: 0.40 V
+	// TCO-optimal lanes: 8
+}

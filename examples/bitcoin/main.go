@@ -1,0 +1,71 @@
+// Bitcoin ASIC Cloud end to end: mine real blocks with the repository's
+// own SHA-256 core, replay the global network's difficulty ramp
+// (Figure 1), then design the cloud that would serve it (Table 3).
+//
+//	go run ./examples/bitcoin
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"asiccloud"
+	"asiccloud/internal/apps/bitcoin"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// --- 1. The computation itself: double-SHA256 proof of work. ------
+	header := bitcoin.Header{
+		Version: 2,
+		Time:    uint32(time.Date(2016, 4, 1, 0, 0, 0, 0, time.UTC).Unix()),
+		Bits:    0x2000ffff, // demo difficulty: ~256 hashes per share
+	}
+	start := time.Now()
+	const attempts = 1 << 16
+	nonce, found, err := bitcoin.Mine(&header, 0, attempts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rate := float64(attempts) / time.Since(start).Seconds()
+	if found {
+		header.Nonce = nonce
+		hash := header.Hash()
+		fmt.Printf("mined a share: nonce %d, hash %x...\n", nonce, hash[28:])
+	}
+	fmt.Printf("this machine's software hashrate: %.2f MH/s\n\n", rate/1e6)
+
+	// --- 2. The network that motivates the cloud (Figure 1). ----------
+	samples, err := bitcoin.SimulateNetwork(
+		bitcoin.HistoricalGenerations(), bitcoin.DefaultNetworkParams(), 6.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := samples[len(samples)-1]
+	fmt.Printf("simulated network after %.1f years: difficulty x%.3g, %.0f million GH/s\n",
+		last.Years, last.Difficulty, last.HashrateGH/1e6)
+	fmt.Printf("(the paper reports a 50-billion-fold ramp to ~575 million GH/s)\n\n")
+
+	// --- 3. The ASIC Cloud that serves it (Table 3). -------------------
+	result, err := asiccloud.Explore(asiccloud.Sweep{
+		Base: asiccloud.DefaultServer(asiccloud.BitcoinRCA()),
+	}, asiccloud.DefaultTCO())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := result.TCOOptimal
+	fmt.Println("TCO-optimal server:", opt.Describe())
+
+	// How many servers and megawatts to host the whole network?
+	d, err := asiccloud.PlanDeployment(asiccloud.DefaultRack(),
+		opt.Perf, opt.WallPower, last.HashrateGH)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("world-scale deployment: %d servers, %d racks, %.0f MW\n",
+		d.Servers, d.Racks, d.TotalPowerW/1e6)
+	fmt.Println("(the paper: 'the global power budget dedicated to ASIC Clouds ... is")
+	fmt.Println(" estimated by experts to be in the range of 300-500 megawatts')")
+}

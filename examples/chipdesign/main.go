@@ -1,0 +1,78 @@
+// Chip designer's workflow: from a structural netlist to a deployable
+// ASIC — estimate the RCA, compare pipelined vs rolled microarchitectures,
+// simulate the on-chip network and thermal control loop (paper Figure 2),
+// account for frequency binning (§3's argument for self-operated clouds),
+// and finally place the chip in a TCO-optimal server.
+//
+//	go run ./examples/chipdesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asiccloud"
+	"asiccloud/internal/apps/bitcoin"
+	"asiccloud/internal/vlsi"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// --- 1. Microarchitecture choice: pipelined vs rolled SHA core. ---
+	pipelined := bitcoin.RCA()
+	rolled := bitcoin.RolledRCA()
+	fmt.Println("RCA style comparison (paper §7):")
+	fmt.Printf("  %-10s %8s %12s %14s\n", "style", "mm²", "GH/s", "GH/s per mm²")
+	fmt.Printf("  %-10s %8.3f %12.4f %14.3f\n", "pipelined",
+		pipelined.Area, pipelined.NominalPerf, pipelined.NominalPerf/pipelined.Area)
+	fmt.Printf("  %-10s %8.4f %12.5f %14.3f\n", "rolled",
+		rolled.Area, rolled.NominalPerf, rolled.NominalPerf/rolled.Area)
+	fmt.Println("  → the pipelined style wins per-area throughput, as in industry.")
+
+	// --- 2. On-chip architecture: RCAs + NoC + control plane. ----------
+	cfg := asiccloud.DefaultChipConfig()
+	cfg.Width, cfg.Height = 6, 6
+	cfg.JobCycles = 128 // one rolled double-SHA per job
+	chip, err := asiccloud.NewChip(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		chip.Submit(uint64(i+1), uint64(i))
+	}
+	if !chip.RunUntilDrained(50_000_000) {
+		log.Fatal("chip did not drain")
+	}
+	s := chip.Stats()
+	fmt.Printf("\non-ASIC simulation (%dx%d mesh, Figure 2):\n", cfg.Width, cfg.Height)
+	fmt.Printf("  %d jobs in %d cycles: %.1f%% RCA utilization, %.0f-cycle mean latency\n",
+		s.Completed, s.Cycle, 100*s.Utilization(cfg.Width*cfg.Height), s.AvgLatency())
+	fmt.Printf("  hottest sensor %.1f °C, injection throttled %d cycles\n",
+		s.MaxTempC, s.ThrottledCycles)
+
+	// --- 3. Binning: why self-operated clouds deploy silicon better. ---
+	bin := vlsi.DefaultBinning()
+	promise, vendorT, err := bin.BestVendorPromise()
+	if err != nil {
+		log.Fatal(err)
+	}
+	adv, err := bin.CloudAdvantage(0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfrequency binning at %.0f%% sigma (paper §3):\n", 100*bin.Sigma)
+	fmt.Printf("  best vendor bin: promise %.0f%% of nominal → %.2f throughput per chip\n",
+		100*promise, vendorT)
+	fmt.Printf("  self-operated cloud: %.2fx more throughput per manufactured chip\n", adv)
+
+	// --- 4. The cloud around the chip. ---------------------------------
+	res, err := asiccloud.Explore(asiccloud.Sweep{
+		Base: asiccloud.DefaultServer(pipelined),
+	}, asiccloud.DefaultTCO())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nTCO-optimal server datasheet:")
+	fmt.Print(res.TCOOptimal.Report())
+}

@@ -1,0 +1,73 @@
+// Custom accelerator: take a new design from gate counts to a go/no-go
+// ASIC Cloud decision. This is the workflow the paper ends on ("When do
+// we go ASIC Cloud?", §12): estimate the RCA from a netlist, explore the
+// design space, compare against the incumbent cloud, and apply the
+// two-for-two rule against the NRE.
+//
+//	go run ./examples/customaccel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asiccloud"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// --- 1. A genomics-style string-matching accelerator, described ---
+	//     structurally: systolic comparator array plus reference SRAM.
+	netlist := asiccloud.Netlist{
+		Name:                 "seqmatch",
+		Gates:                600_000,
+		Flops:                90_000,
+		SRAMBits:             512 * 1024 * 8, // 512 KB reference window
+		CombActivity:         0.25,
+		FlopActivity:         0.5,
+		SRAMAccessesPerCycle: 2,
+		SRAMWordBits:         256,
+	}
+	// One fully pipelined alignment per cycle, counted in millions of
+	// alignments per second (Mal/s): perf-per-cycle = 1e-6 Mal.
+	spec, err := asiccloud.Estimate28nm(netlist, 750e6, 1e-6, "Mal/s")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated RCA: %.2f mm², %.3f W/mm² nominal, %.0f%% of power on the SRAM rail\n\n",
+		spec.Area, spec.NominalPowerDensity, 100*spec.SRAMPowerFraction)
+
+	// --- 2. Explore the cloud design space around it. ------------------
+	result, err := asiccloud.Explore(asiccloud.Sweep{
+		Base: asiccloud.DefaultServer(spec),
+	}, asiccloud.DefaultTCO())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := result.TCOOptimal
+	fmt.Println("TCO-optimal server:", opt.Describe())
+
+	// --- 3. When do we go ASIC Cloud? ----------------------------------
+	// Suppose the incumbent CPU cloud spends $24M of TCO on this
+	// computation over the comparison horizon, and the ASIC improves
+	// TCO per op/s by 120x (typical for a memory-friendly accelerator).
+	const incumbentTCO = 24e6
+	const projectedSpeedup = 120.0
+	nreCost := asiccloud.UMC28nm().MaskCost + 3.5e6 // masks + development
+	decision, err := asiccloud.EvaluateNRE(incumbentTCO, nreCost, projectedSpeedup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nNRE analysis (two-for-two rule, paper §12):\n")
+	fmt.Printf("  TCO/NRE ratio:      %.1f\n", decision.TCONRERatio)
+	fmt.Printf("  breakeven speedup:  %.2fx\n", decision.RequiredSpeedup)
+	fmt.Printf("  projected speedup:  %.0fx\n", decision.ProjectedSpeedup)
+	fmt.Printf("  two-for-two:        %v\n", decision.PassesTwoForTwo)
+	fmt.Printf("  projected savings:  $%.1fM over the horizon\n", decision.ProjectedSavings/1e6)
+	if decision.PassesTwoForTwo && decision.PassesBreakeven {
+		fmt.Println("\nverdict: build the ASIC Cloud.")
+	} else {
+		fmt.Println("\nverdict: stay on the commodity cloud for now.")
+	}
+}

@@ -1,0 +1,3 @@
+module asiccloud
+
+go 1.22

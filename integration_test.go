@@ -1,0 +1,144 @@
+package asiccloud
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"asiccloud/internal/apps/bitcoin"
+	"asiccloud/internal/cloud"
+	"asiccloud/internal/datacenter"
+)
+
+// TestEndToEndBitcoinCloud walks the whole stack the way an operator
+// would: design the TCO-optimal server with the explorer, verify its
+// chip's on-die architecture sustains the workload, serve real mining
+// jobs through the pool to a worker fleet sized like the server's lanes,
+// and size the datacenter deployment for the resulting hashrate.
+func TestEndToEndBitcoinCloud(t *testing.T) {
+	// 1. Design space → TCO-optimal server.
+	res, err := Explore(Sweep{
+		Base:           DefaultServer(BitcoinRCA()),
+		SiliconPerLane: []float64{530, 3000},
+		ChipsPerLane:   []int{10, 20},
+		Voltages:       VoltageGrid(0.44, 0.56),
+	}, DefaultTCO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := res.TCOOptimal
+	if opt.Perf <= 0 {
+		t.Fatal("no optimal design")
+	}
+
+	// 2. On-ASIC architecture: a mesh sized to the chosen chip's RCA
+	// count (scaled down by a constant factor to keep the test fast)
+	// must drain a burst of work without deadlock or thermal runaway.
+	cfg := DefaultChipConfig()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.JobCycles = 128
+	chip, err := NewChip(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := opt.Config.RCAsPerChip // one burst entry per real RCA
+	for i := 0; i < jobs; i++ {
+		chip.Submit(uint64(i+1), uint64(i))
+	}
+	if !chip.RunUntilDrained(10_000_000) {
+		t.Fatalf("chip did not drain %d jobs", jobs)
+	}
+	if got := chip.Stats().Completed; got != int64(jobs) {
+		t.Fatalf("chip completed %d of %d", got, jobs)
+	}
+
+	// 3. The scale-out layer: nonce ranges served over TCP to one
+	// worker per lane, mining a real easy-target header.
+	header := bitcoin.Header{Version: 2, Time: 1461888000, Bits: 0x2000ffff}
+	const rangeSize = 512
+	var poolJobs []cloud.Job
+	for i := 0; i < 2*opt.Config.Lanes; i++ {
+		payload := make([]byte, 4)
+		binary.LittleEndian.PutUint32(payload, uint32(i*rangeSize))
+		poolJobs = append(poolJobs, cloud.Job{ID: uint64(i + 1), Payload: payload})
+	}
+	pool := cloud.NewPool(poolJobs)
+	pool.SetLeaseDuration(5 * time.Second)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go pool.Serve(ctx, l)
+
+	mine := func(j cloud.Job) ([]byte, error) {
+		start := binary.LittleEndian.Uint32(j.Payload)
+		h := header
+		nonce, found, err := bitcoin.Mine(&h, start, rangeSize)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return nil, errors.New("dry range")
+		}
+		out := make([]byte, 4)
+		binary.LittleEndian.PutUint32(out, nonce)
+		return out, nil
+	}
+	total, err := cloud.RunFleet(ctx, l.Addr().String(), "lane", opt.Config.Lanes, mine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(poolJobs) {
+		t.Fatalf("fleet completed %d of %d ranges", total, len(poolJobs))
+	}
+	stats := pool.Stats()
+	if stats.JobsDone == 0 {
+		t.Fatal("no shares at trivial difficulty")
+	}
+
+	// Every share verifies against the real proof-of-work rule.
+	verified := 0
+drain:
+	for {
+		select {
+		case r := <-pool.Results():
+			if r.Err != "" {
+				continue
+			}
+			h := header
+			h.Nonce = binary.LittleEndian.Uint32(r.Output)
+			ok, err := bitcoin.CheckProofOfWork(&h)
+			if err != nil || !ok {
+				t.Fatalf("unverifiable share from %s", r.Worker)
+			}
+			verified++
+		default:
+			break drain
+		}
+	}
+	if verified != stats.JobsDone {
+		t.Fatalf("verified %d of %d shares", verified, stats.JobsDone)
+	}
+
+	// 4. Datacenter: deploy the designed server against a demand and
+	// check the fleet is consistently sized.
+	dep, err := PlanDeployment(DefaultRack(), opt.Perf, opt.WallPower, 100*opt.Perf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Servers != 100 {
+		t.Fatalf("deployment sized %d servers, want 100", dep.Servers)
+	}
+	perRack, err := datacenter.DefaultRack().ServersPerRack(opt.WallPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Racks < dep.Servers/perRack {
+		t.Error("rack count inconsistent with per-rack power")
+	}
+}

@@ -1,0 +1,151 @@
+package bitcoin
+
+import (
+	"fmt"
+	"math"
+)
+
+// The economics that powered the first ASIC Clouds (paper §2-3): "every
+// time a machine succeeds in posting a transaction to the blockchain, it
+// receives a blockchain reward ... the fraction of the 3600 bitcoins
+// distributed daily that a miner receives is approximately proportional
+// to the ratio of their hashrate to the world-wide network hashrate."
+// Because the world hashrate grows relentlessly (Figure 1), a machine's
+// revenue decays over its life — the reason ASIC servers amortize over
+// 1.5 years rather than 3, and why being first to deploy mattered so
+// much ("Because ASICMiner did not have to ship units to customers, they
+// were the first to be able to mine and thus captured a large fraction
+// of the total network hash rate").
+
+// Market holds the revenue-side parameters.
+type Market struct {
+	// BTCPrice in dollars ("as of late April 2016, is around $429").
+	BTCPrice float64
+	// RewardBTC per block (25 BTC at the time of the paper).
+	RewardBTC float64
+	// BlocksPerDay (approximately 144).
+	BlocksPerDay float64
+	// TipFraction adds the optional transaction tips ("these tips
+	// comprise only a few percent of revenue").
+	TipFraction float64
+}
+
+// PaperMarket is April 2016: $429/BTC, 25 BTC rewards.
+func PaperMarket() Market {
+	return Market{BTCPrice: 429, RewardBTC: 25, BlocksPerDay: 144, TipFraction: 0.02}
+}
+
+// Validate reports whether the market is usable.
+func (m Market) Validate() error {
+	if m.BTCPrice <= 0 || m.RewardBTC <= 0 || m.BlocksPerDay <= 0 {
+		return fmt.Errorf("bitcoin: market parameters must be positive")
+	}
+	if m.TipFraction < 0 || m.TipFraction > 0.5 {
+		return fmt.Errorf("bitcoin: tip fraction %v outside [0, 0.5]", m.TipFraction)
+	}
+	return nil
+}
+
+// DailyNetworkRevenue is the whole network's daily income in dollars
+// ("the total value per day of mining is around $1.5M USD" at the 2016
+// peak prices the paper quotes).
+func (m Market) DailyNetworkRevenue() float64 {
+	return m.BTCPrice * m.RewardBTC * m.BlocksPerDay * (1 + m.TipFraction)
+}
+
+// Miner couples a fleet's hashrate and operating cost.
+type Miner struct {
+	// HashrateGHs of the deployed fleet.
+	HashrateGHs float64
+	// PowerW is the fleet's wall power.
+	PowerW float64
+	// CapitalUSD is the upfront hardware cost.
+	CapitalUSD float64
+	// ElectricityPerKWh is the operator's energy price.
+	ElectricityPerKWh float64
+}
+
+// Validate reports whether the miner is usable.
+func (mi Miner) Validate() error {
+	if mi.HashrateGHs <= 0 || mi.PowerW < 0 || mi.CapitalUSD < 0 || mi.ElectricityPerKWh < 0 {
+		return fmt.Errorf("bitcoin: miner parameters out of range")
+	}
+	return nil
+}
+
+// Profitability is the outcome of a deployment simulation.
+type Profitability struct {
+	RevenueUSD    float64 // cumulative gross revenue
+	EnergyCostUSD float64 // cumulative electricity
+	NetUSD        float64 // revenue - energy - capital
+	PaybackDays   float64 // days to recover capital (+Inf if never)
+	FinalShare    float64 // miner's network share at the horizon
+	InitialShare  float64 // miner's network share at deployment
+	HorizonDays   float64
+}
+
+// Simulate runs the miner against a growing network for horizonDays,
+// starting when the world hashrate is worldGHs and growing by
+// growthPerMonth (fractional, e.g. 0.3 = +30%/month — the paper's ramp
+// averaged far more). Day granularity.
+func (m Market) Simulate(mi Miner, worldGHs, growthPerMonth, horizonDays float64) (Profitability, error) {
+	if err := m.Validate(); err != nil {
+		return Profitability{}, err
+	}
+	if err := mi.Validate(); err != nil {
+		return Profitability{}, err
+	}
+	if worldGHs <= 0 || horizonDays <= 0 {
+		return Profitability{}, fmt.Errorf("bitcoin: world hashrate and horizon must be positive")
+	}
+	if growthPerMonth < 0 {
+		return Profitability{}, fmt.Errorf("bitcoin: negative network growth")
+	}
+	dailyGrowth := math.Pow(1+growthPerMonth, 1.0/30) - 1
+	dailyRevenue := m.DailyNetworkRevenue()
+	dailyEnergy := mi.PowerW / 1000 * 24 * mi.ElectricityPerKWh
+
+	p := Profitability{
+		HorizonDays:  horizonDays,
+		InitialShare: mi.HashrateGHs / (worldGHs + mi.HashrateGHs),
+		PaybackDays:  math.Inf(1),
+	}
+	world := worldGHs
+	cum := -mi.CapitalUSD
+	for day := 1.0; day <= horizonDays; day++ {
+		share := mi.HashrateGHs / (world + mi.HashrateGHs)
+		p.RevenueUSD += share * dailyRevenue
+		p.EnergyCostUSD += dailyEnergy
+		cum = p.RevenueUSD - p.EnergyCostUSD - mi.CapitalUSD
+		if cum >= 0 && math.IsInf(p.PaybackDays, 1) {
+			p.PaybackDays = day
+		}
+		world *= 1 + dailyGrowth
+	}
+	p.NetUSD = cum
+	p.FinalShare = mi.HashrateGHs / (world + mi.HashrateGHs)
+	return p, nil
+}
+
+// FirstMoverAdvantage quantifies §3's observation: the same fleet
+// deployed delayDays later earns this fraction of the on-time fleet's
+// revenue over the same operating lifetime, purely because the network
+// grew in the meantime.
+func (m Market) FirstMoverAdvantage(mi Miner, worldGHs, growthPerMonth, lifetimeDays, delayDays float64) (float64, error) {
+	onTime, err := m.Simulate(mi, worldGHs, growthPerMonth, lifetimeDays)
+	if err != nil {
+		return 0, err
+	}
+	if delayDays < 0 {
+		return 0, fmt.Errorf("bitcoin: negative delay")
+	}
+	grownWorld := worldGHs * math.Pow(1+growthPerMonth, delayDays/30)
+	late, err := m.Simulate(mi, grownWorld, growthPerMonth, lifetimeDays)
+	if err != nil {
+		return 0, err
+	}
+	if onTime.RevenueUSD <= 0 {
+		return 0, fmt.Errorf("bitcoin: zero on-time revenue")
+	}
+	return late.RevenueUSD / onTime.RevenueUSD, nil
+}

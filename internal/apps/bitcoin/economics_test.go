@@ -1,0 +1,154 @@
+package bitcoin
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperMarketRevenue(t *testing.T) {
+	m := PaperMarket()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// "The total value per day of mining is around $1.5M USD" at
+	// $429 × 25 BTC × 144 blocks (+ tips).
+	got := m.DailyNetworkRevenue()
+	if got < 1.5e6 || got > 1.65e6 {
+		t.Errorf("daily network revenue = $%.0f, want ~$1.5-1.6M", got)
+	}
+	bad := m
+	bad.BTCPrice = 0
+	if bad.Validate() == nil {
+		t.Error("zero price should fail")
+	}
+	bad = m
+	bad.TipFraction = 0.9
+	if bad.Validate() == nil {
+		t.Error("absurd tips should fail")
+	}
+}
+
+// tcoOptimalMiner is the paper's TCO-optimal Bitcoin server as a miner.
+func tcoOptimalMiner() Miner {
+	return Miner{
+		HashrateGHs:       7341,
+		PowerW:            3731,
+		CapitalUSD:        7901,
+		ElectricityPerKWh: 0.06,
+	}
+}
+
+func TestSimulateStaticNetwork(t *testing.T) {
+	m := PaperMarket()
+	mi := tcoOptimalMiner()
+	// Against the paper's 575M GH/s world with no growth.
+	p, err := m.Simulate(mi, 575e6, 0, 365)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Revenue share ≈ 7341/575e6 ≈ 1.28e-5 of ~$1.58M/day ≈ $20/day.
+	perDay := p.RevenueUSD / 365
+	if perDay < 15 || perDay > 25 {
+		t.Errorf("revenue = $%.2f/day, want ~$20", perDay)
+	}
+	// Energy: 3731 W at $0.06/kWh ≈ $5.4/day.
+	energyPerDay := p.EnergyCostUSD / 365
+	if math.Abs(energyPerDay-5.37)/5.37 > 0.02 {
+		t.Errorf("energy = $%.2f/day, want ~$5.37", energyPerDay)
+	}
+	// Gross margin positive but capital not yet recovered in one year
+	// at 2016 difficulty: ~$15/day net over $7,901 capital.
+	if p.NetUSD > 0 {
+		t.Errorf("net = $%.0f; one year should not repay the server at Nov-2015 difficulty", p.NetUSD)
+	}
+	if !math.IsInf(p.PaybackDays, 1) {
+		t.Errorf("payback in %v days is too fast", p.PaybackDays)
+	}
+	if p.InitialShare != p.FinalShare {
+		t.Error("share should be constant without growth")
+	}
+}
+
+func TestSimulateEarlyDeployment(t *testing.T) {
+	// The same server deployed when the world was 100x smaller pays
+	// back almost immediately — the regime in which the first ASICs
+	// landed.
+	m := PaperMarket()
+	mi := tcoOptimalMiner()
+	p, err := m.Simulate(mi, 5.75e6, 0.3, 540)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(p.PaybackDays, 1) || p.PaybackDays > 60 {
+		t.Errorf("payback = %v days, want fast at 100x smaller network", p.PaybackDays)
+	}
+	if p.NetUSD <= 0 {
+		t.Error("early deployment should profit")
+	}
+	// Growth erodes the share over the horizon.
+	if p.FinalShare >= p.InitialShare {
+		t.Error("network growth should dilute the miner")
+	}
+}
+
+func TestGrowthHurtsRevenue(t *testing.T) {
+	m := PaperMarket()
+	mi := tcoOptimalMiner()
+	flat, err := m.Simulate(mi, 10e6, 0, 365)
+	if err != nil {
+		t.Fatal(err)
+	}
+	growing, err := m.Simulate(mi, 10e6, 0.5, 365)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if growing.RevenueUSD >= flat.RevenueUSD {
+		t.Errorf("a growing network must erode revenue: %v vs %v",
+			growing.RevenueUSD, flat.RevenueUSD)
+	}
+}
+
+func TestFirstMoverAdvantage(t *testing.T) {
+	m := PaperMarket()
+	mi := tcoOptimalMiner()
+	// At 30%/month growth, six months of delay costs most of the
+	// revenue — "shipped sequentially by customer order date" was a
+	// brutal business model.
+	frac, err := m.FirstMoverAdvantage(mi, 10e6, 0.3, 540, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac >= 0.5 {
+		t.Errorf("late deployment keeps %.0f%% of revenue, want < 50%%", 100*frac)
+	}
+	// No delay, no penalty.
+	same, err := m.FirstMoverAdvantage(mi, 10e6, 0.3, 540, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(same-1) > 1e-9 {
+		t.Errorf("zero delay fraction = %v, want 1", same)
+	}
+	if _, err := m.FirstMoverAdvantage(mi, 10e6, 0.3, 540, -1); err == nil {
+		t.Error("negative delay should fail")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	m := PaperMarket()
+	mi := tcoOptimalMiner()
+	if _, err := m.Simulate(mi, 0, 0, 100); err == nil {
+		t.Error("zero world hashrate should fail")
+	}
+	if _, err := m.Simulate(mi, 1e6, -0.1, 100); err == nil {
+		t.Error("negative growth should fail")
+	}
+	if _, err := m.Simulate(mi, 1e6, 0, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	bad := mi
+	bad.HashrateGHs = 0
+	if _, err := m.Simulate(bad, 1e6, 0, 100); err == nil {
+		t.Error("zero hashrate miner should fail")
+	}
+}

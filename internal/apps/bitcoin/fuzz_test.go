@@ -1,0 +1,63 @@
+package bitcoin
+
+import (
+	"bytes"
+	cryptosha "crypto/sha256"
+	"testing"
+)
+
+func FuzzSum256MatchesStdlib(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("abc"))
+	f.Add(bytes.Repeat([]byte{0x55}, 55))
+	f.Add(bytes.Repeat([]byte{0x38}, 56))
+	f.Add(bytes.Repeat([]byte{0x40}, 64))
+	f.Add(bytes.Repeat([]byte{0x80}, 119))
+	f.Add(bytes.Repeat([]byte{0xff}, 1000))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ours := Sum256(data)
+		std := cryptosha.Sum256(data)
+		if ours != std {
+			t.Fatalf("Sum256 mismatch for %d bytes", len(data))
+		}
+	})
+}
+
+func FuzzCompactTargetRoundTrip(f *testing.F) {
+	f.Add(uint32(0x1d00ffff))
+	f.Add(uint32(0x1b0404cb))
+	f.Add(uint32(0x207fffff))
+	f.Add(uint32(0x03123456))
+	f.Fuzz(func(t *testing.T, bits uint32) {
+		target, err := CompactToTarget(bits)
+		if err != nil {
+			return // sign-bit encodings are rejected by design
+		}
+		if target.Sign() <= 0 {
+			return // zero-mantissa encodings have no canonical form
+		}
+		back := TargetToCompact(target)
+		target2, err := CompactToTarget(back)
+		if err != nil {
+			t.Fatalf("re-encoding %08x -> %08x became invalid", bits, back)
+		}
+		// The compact format is lossy (mantissa truncation), but a
+		// canonical round trip must be a fixed point.
+		if TargetToCompact(target2) != back {
+			t.Fatalf("canonical form of %08x is not a fixed point", bits)
+		}
+	})
+}
+
+func FuzzMidstateMatchesFullHash(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint32(0x1d00ffff))
+	f.Add(uint32(123456), uint32(1231006505), uint32(0x207fffff))
+	f.Fuzz(func(t *testing.T, nonce, timestamp, bits uint32) {
+		h := Header{Version: 2, Time: timestamp, Bits: bits}
+		viaMid := h.HashWithMidstate(h.Midstate(), nonce)
+		h.Nonce = nonce
+		if viaMid != h.Hash() {
+			t.Fatalf("midstate path diverged at nonce %d", nonce)
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package bitcoin
+
+import (
+	"fmt"
+	"math"
+)
+
+// The Figure 1 simulator: the global Bitcoin network ramping "through the
+// full spectrum of specialization, from CPU to GPU, from GPU to FPGA,
+// from FPGA to older ASIC nodes, and finally to the latest ASIC nodes",
+// with difficulty retargeting every 2016 blocks.
+
+// Generation is one wave of mining technology.
+type Generation struct {
+	Name string
+	// Node is the process node in nm (0 for CPU/GPU/FPGA generations).
+	Node int
+	// LaunchYears is the deployment midpoint in years since genesis.
+	LaunchYears float64
+	// RampYears is the logistic time constant of fleet buildout.
+	RampYears float64
+	// PeakGHs is the generation's eventual world hashrate contribution.
+	PeakGHs float64
+}
+
+// HistoricalGenerations reconstructs the paper's annotated technology
+// progression (Figure 1): CPUs from genesis (Jan 2009), GPUs, FPGAs,
+// then ASICs at 130/110/65/55/28/22/20/16 nm, calibrated so the network
+// reaches ~575 million GH/s about 6.8 years in (Nov 2015).
+func HistoricalGenerations() []Generation {
+	return []Generation{
+		{Name: "CPU", Node: 0, LaunchYears: 0.0, RampYears: 0.5, PeakGHs: 0.05},
+		{Name: "GPU", Node: 0, LaunchYears: 1.6, RampYears: 0.4, PeakGHs: 50},
+		{Name: "FPGA", Node: 0, LaunchYears: 2.6, RampYears: 0.4, PeakGHs: 4_000},
+		{Name: "ASIC 130nm", Node: 130, LaunchYears: 4.0, RampYears: 0.25, PeakGHs: 40_000},
+		{Name: "ASIC 110nm", Node: 110, LaunchYears: 4.2, RampYears: 0.25, PeakGHs: 120_000},
+		{Name: "ASIC 65nm", Node: 65, LaunchYears: 4.35, RampYears: 0.25, PeakGHs: 400_000},
+		{Name: "ASIC 55nm", Node: 55, LaunchYears: 4.55, RampYears: 0.3, PeakGHs: 2_000_000},
+		{Name: "ASIC 28nm", Node: 28, LaunchYears: 4.85, RampYears: 0.35, PeakGHs: 25_000_000},
+		{Name: "ASIC 22nm", Node: 22, LaunchYears: 5.0, RampYears: 0.4, PeakGHs: 40_000_000},
+		{Name: "ASIC 20nm", Node: 20, LaunchYears: 5.6, RampYears: 0.4, PeakGHs: 200_000_000},
+		{Name: "ASIC 16nm", Node: 16, LaunchYears: 6.4, RampYears: 0.4, PeakGHs: 320_000_000},
+	}
+}
+
+// FleetHashrate returns the world hashrate in GH/s at t years since
+// genesis for the given technology waves (logistic adoption curves).
+func FleetHashrate(gens []Generation, years float64) float64 {
+	var total float64
+	for _, g := range gens {
+		ramp := g.RampYears
+		if ramp <= 0 {
+			ramp = 0.3
+		}
+		total += g.PeakGHs / (1 + math.Exp(-(years-g.LaunchYears)/ramp))
+	}
+	return total
+}
+
+// NetworkParams configure the difficulty-retarget simulation.
+type NetworkParams struct {
+	// TargetBlockSeconds is Bitcoin's 600-second block target.
+	TargetBlockSeconds float64
+	// RetargetBlocks is the adjustment period: "approximately every
+	// 2016 blocks (or two weeks), the difficulty of mining is
+	// adjusted".
+	RetargetBlocks int
+	// MaxAdjust clamps a single retarget step (Bitcoin uses 4).
+	MaxAdjust float64
+	// InitialHashrateGHs anchors difficulty 1; the paper normalizes to
+	// "the initial mining network throughput, 7.15 MH/s".
+	InitialHashrateGHs float64
+}
+
+// DefaultNetworkParams returns Bitcoin's consensus constants.
+func DefaultNetworkParams() NetworkParams {
+	return NetworkParams{
+		TargetBlockSeconds: 600,
+		RetargetBlocks:     2016,
+		MaxAdjust:          4,
+		InitialHashrateGHs: 7.15e-3, // 7.15 MH/s
+	}
+}
+
+// Sample is one retarget period of the simulated network.
+type Sample struct {
+	Years      float64 // time since genesis at the period end
+	Block      int     // chain height
+	Difficulty float64 // difficulty during the period
+	HashrateGH float64 // world hashrate at the period end (GH/s)
+}
+
+// SimulateNetwork steps the chain block-by-block under the fleet's
+// hashrate growth, applying Bitcoin's retarget rule, and returns one
+// sample per retarget period until the horizon.
+func SimulateNetwork(gens []Generation, p NetworkParams, horizonYears float64) ([]Sample, error) {
+	if p.TargetBlockSeconds <= 0 || p.RetargetBlocks <= 0 || p.InitialHashrateGHs <= 0 {
+		return nil, fmt.Errorf("bitcoin: invalid network params %+v", p)
+	}
+	if horizonYears <= 0 {
+		return nil, fmt.Errorf("bitcoin: non-positive horizon")
+	}
+	const secondsPerYear = 365.25 * 24 * 3600
+	// Difficulty d means a block takes d * 2^32 hashes in expectation;
+	// calibrate difficulty 1 to the initial fleet.
+	hashesPerDiff1 := p.InitialHashrateGHs * 1e9 * p.TargetBlockSeconds
+
+	var out []Sample
+	t := 0.0 // seconds since genesis
+	diff := 1.0
+	block := 0
+	for t < horizonYears*secondsPerYear {
+		periodStart := t
+		// Expected time for one retarget period at the prevailing
+		// hashrate, integrating block by block.
+		for i := 0; i < p.RetargetBlocks; i++ {
+			h := FleetHashrate(gens, t/secondsPerYear) * 1e9 // H/s
+			if h <= 0 {
+				return nil, fmt.Errorf("bitcoin: fleet hashrate non-positive at %.2f years", t/secondsPerYear)
+			}
+			t += diff * hashesPerDiff1 / h
+			block++
+		}
+		out = append(out, Sample{
+			Years:      t / secondsPerYear,
+			Block:      block,
+			Difficulty: diff,
+			HashrateGH: FleetHashrate(gens, t/secondsPerYear),
+		})
+		// Retarget: scale difficulty so the next period takes two weeks
+		// at the observed solve rate, clamped to 4x per step.
+		actual := t - periodStart
+		want := float64(p.RetargetBlocks) * p.TargetBlockSeconds
+		adj := want / actual
+		if adj > p.MaxAdjust {
+			adj = p.MaxAdjust
+		}
+		if adj < 1/p.MaxAdjust {
+			adj = 1 / p.MaxAdjust
+		}
+		diff *= adj
+	}
+	return out, nil
+}

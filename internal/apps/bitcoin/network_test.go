@@ -1,0 +1,125 @@
+package bitcoin
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFleetHashrateMonotone(t *testing.T) {
+	gens := HistoricalGenerations()
+	prev := 0.0
+	for y := 0.0; y <= 7; y += 0.1 {
+		h := FleetHashrate(gens, y)
+		if h <= prev {
+			t.Fatalf("fleet hashrate not increasing at %.1f years: %v vs %v", y, h, prev)
+		}
+		prev = h
+	}
+}
+
+func TestFleetReaches575MGH(t *testing.T) {
+	// Paper: "approximately 575 million GH/s as of November 2015"
+	// (~6.85 years after the January 2009 genesis).
+	h := FleetHashrate(HistoricalGenerations(), 6.85)
+	if h < 400e6 || h > 800e6 {
+		t.Errorf("fleet at Nov 2015 = %.3g GH/s, want ~575e6", h)
+	}
+}
+
+func TestSimulateNetworkFigure1(t *testing.T) {
+	samples, err := SimulateNetwork(HistoricalGenerations(), DefaultNetworkParams(), 6.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 100 {
+		t.Fatalf("only %d retarget periods in ~6.9 years", len(samples))
+	}
+	last := samples[len(samples)-1]
+	// Paper: "the difficulty and hashrate have increased by an
+	// incredible factor of 50 billion since 2009".
+	if last.Difficulty < 1e10 || last.Difficulty > 2e11 {
+		t.Errorf("final difficulty ratio = %.3g, want ~5e10", last.Difficulty)
+	}
+	// Blocks come roughly every 10 minutes, so ~52,560 blocks/year.
+	wantBlocks := 6.9 * 52560
+	if math.Abs(float64(last.Block)-wantBlocks)/wantBlocks > 0.25 {
+		t.Errorf("chain height = %d, want ~%.0f", last.Block, wantBlocks)
+	}
+	// Difficulty must track hashrate: once the network has ramped,
+	// difficulty ≈ hashrate * 600 / (initial hashrate * 600) within the
+	// retarget hysteresis.
+	for _, s := range samples[len(samples)/2:] {
+		implied := s.HashrateGH / DefaultNetworkParams().InitialHashrateGHs
+		ratio := s.Difficulty / implied
+		if ratio < 0.3 || ratio > 3 {
+			t.Errorf("difficulty %g does not track hashrate-implied %g at %.2f years",
+				s.Difficulty, implied, s.Years)
+		}
+	}
+	// Difficulty is nondecreasing under monotone hashrate growth.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Difficulty < samples[i-1].Difficulty*0.99 {
+			t.Errorf("difficulty regressed at sample %d", i)
+		}
+	}
+}
+
+func TestRetargetClamp(t *testing.T) {
+	// With an explosive fleet (hashrate jumping orders of magnitude
+	// within a period), each retarget step is limited to 4x.
+	gens := []Generation{
+		{Name: "slow", LaunchYears: 0, RampYears: 0.1, PeakGHs: 0.01},
+		{Name: "boom", LaunchYears: 0.2, RampYears: 0.01, PeakGHs: 1e6},
+	}
+	p := DefaultNetworkParams()
+	samples, err := SimulateNetwork(gens, p, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(samples); i++ {
+		step := samples[i].Difficulty / samples[i-1].Difficulty
+		if step > p.MaxAdjust+1e-9 {
+			t.Fatalf("retarget step %v exceeds clamp %v", step, p.MaxAdjust)
+		}
+	}
+}
+
+func TestSimulateNetworkErrors(t *testing.T) {
+	p := DefaultNetworkParams()
+	if _, err := SimulateNetwork(HistoricalGenerations(), p, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	bad := p
+	bad.TargetBlockSeconds = 0
+	if _, err := SimulateNetwork(HistoricalGenerations(), bad, 1); err == nil {
+		t.Error("invalid params should fail")
+	}
+	if _, err := SimulateNetwork(nil, p, 1); err == nil {
+		t.Error("empty fleet should fail (zero hashrate)")
+	}
+}
+
+func TestGenerationAnnotations(t *testing.T) {
+	gens := HistoricalGenerations()
+	// The paper's node progression: first three generations are
+	// CPU/GPU/FPGA (node 0), then strictly shrinking ASIC nodes.
+	if gens[0].Name != "CPU" || gens[1].Name != "GPU" || gens[2].Name != "FPGA" {
+		t.Error("first three generations should be CPU, GPU, FPGA")
+	}
+	prevNode := 1 << 30
+	for _, g := range gens[3:] {
+		if g.Node <= 0 {
+			t.Errorf("%s: ASIC generation missing node", g.Name)
+		}
+		if g.Node >= prevNode {
+			t.Errorf("%s: nodes should shrink monotonically", g.Name)
+		}
+		prevNode = g.Node
+	}
+	// Launches are ordered in time.
+	for i := 1; i < len(gens); i++ {
+		if gens[i].LaunchYears < gens[i-1].LaunchYears {
+			t.Error("generation launches should be chronological")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package bitcoin is the functional substrate of the paper's first ASIC
+// Cloud: a from-scratch SHA-256 implementation, the double-SHA mining
+// operation with midstate optimization, Bitcoin compact-target difficulty
+// arithmetic, the global-network difficulty simulator behind Figure 1,
+// and the published 28nm RCA specification (paper §2, §7).
+//
+// SHA-256 is implemented from the FIPS 180-4 specification rather than
+// wrapping crypto/sha256, because the RCA model needs visibility into the
+// round structure: the paper's Bitcoin RCA is a fully unrolled pipeline
+// of 128 one-clock stages, one per SHA-256 round across the two hashes.
+package bitcoin
+
+import "encoding/binary"
+
+// Rounds is the number of SHA-256 compression rounds; the Bitcoin RCA
+// unrolls two full hashes into 2×64 pipeline stages.
+const Rounds = 64
+
+// k is the SHA-256 round-constant schedule (fractional parts of the cube
+// roots of the first 64 primes).
+var k = [64]uint32{
+	0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+	0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+	0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+	0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+	0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+	0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+	0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+	0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+}
+
+// initState is the SHA-256 initialization vector (fractional parts of
+// the square roots of the first 8 primes).
+var initState = State{
+	0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+	0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+}
+
+// State is the 8-word SHA-256 chaining state. The mining midstate
+// optimization caches this value between nonce attempts.
+type State [8]uint32
+
+func rotr(x uint32, n uint) uint32 { return x>>n | x<<(32-n) }
+
+// Compress runs the 64-round SHA-256 compression function on one 64-byte
+// block, returning the updated chaining state. This is the operation the
+// RCA pipelines one round per clock.
+func Compress(s State, block *[64]byte) State {
+	var w [64]uint32
+	for i := 0; i < 16; i++ {
+		w[i] = binary.BigEndian.Uint32(block[i*4:])
+	}
+	for i := 16; i < 64; i++ {
+		s0 := rotr(w[i-15], 7) ^ rotr(w[i-15], 18) ^ (w[i-15] >> 3)
+		s1 := rotr(w[i-2], 17) ^ rotr(w[i-2], 19) ^ (w[i-2] >> 10)
+		w[i] = w[i-16] + s0 + w[i-7] + s1
+	}
+	a, b, c, d, e, f, g, h := s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]
+	for i := 0; i < 64; i++ {
+		S1 := rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25)
+		ch := (e & f) ^ (^e & g)
+		t1 := h + S1 + ch + k[i] + w[i]
+		S0 := rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22)
+		maj := (a & b) ^ (a & c) ^ (b & c)
+		t2 := S0 + maj
+		h, g, f, e, d, c, b, a = g, f, e, d+t1, c, b, a, t1+t2
+	}
+	s[0] += a
+	s[1] += b
+	s[2] += c
+	s[3] += d
+	s[4] += e
+	s[5] += f
+	s[6] += g
+	s[7] += h
+	return s
+}
+
+// Sum256 computes the SHA-256 digest of data.
+func Sum256(data []byte) [32]byte {
+	s := initState
+	var block [64]byte
+
+	// Full blocks.
+	n := len(data)
+	i := 0
+	for ; i+64 <= n; i += 64 {
+		copy(block[:], data[i:i+64])
+		s = Compress(s, &block)
+	}
+
+	// Padding: 0x80, zeros, 64-bit big-endian bit length.
+	rem := data[i:]
+	block = [64]byte{}
+	copy(block[:], rem)
+	block[len(rem)] = 0x80
+	if len(rem) >= 56 {
+		s = Compress(s, &block)
+		block = [64]byte{}
+	}
+	binary.BigEndian.PutUint64(block[56:], uint64(n)*8)
+	s = Compress(s, &block)
+
+	var out [32]byte
+	for j, v := range s {
+		binary.BigEndian.PutUint32(out[j*4:], v)
+	}
+	return out
+}
+
+// Bytes serializes a state as a big-endian digest.
+func (s State) Bytes() [32]byte {
+	var out [32]byte
+	for j, v := range s {
+		binary.BigEndian.PutUint32(out[j*4:], v)
+	}
+	return out
+}
+
+// DoubleSum256 is Bitcoin's hash: SHA-256 applied twice.
+func DoubleSum256(data []byte) [32]byte {
+	first := Sum256(data)
+	return Sum256(first[:])
+}

@@ -1,0 +1,81 @@
+package bitcoin
+
+import (
+	"bytes"
+	cryptosha "crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func TestSum256KnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+		{"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+		{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+			"248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+	}
+	for _, c := range cases {
+		got := Sum256([]byte(c.in))
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("Sum256(%q) = %x, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSum256MatchesStdlibProperty(t *testing.T) {
+	// Our from-scratch implementation must agree with crypto/sha256 on
+	// arbitrary inputs, including lengths that exercise every padding
+	// path (>= 56 bytes remainder, multi-block, empty).
+	f := func(data []byte) bool {
+		ours := Sum256(data)
+		std := cryptosha.Sum256(data)
+		return ours == std
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Deterministic boundary lengths.
+	for _, n := range []int{0, 1, 55, 56, 57, 63, 64, 65, 119, 120, 128, 1000} {
+		data := bytes.Repeat([]byte{0xa5}, n)
+		if Sum256(data) != cryptosha.Sum256(data) {
+			t.Errorf("mismatch at length %d", n)
+		}
+	}
+}
+
+func TestDoubleSum256(t *testing.T) {
+	data := []byte("hello")
+	first := cryptosha.Sum256(data)
+	want := cryptosha.Sum256(first[:])
+	if got := DoubleSum256(data); got != want {
+		t.Errorf("DoubleSum256 = %x, want %x", got, want)
+	}
+}
+
+func TestCompressMatchesOneBlock(t *testing.T) {
+	// Compressing a hand-padded single block must equal Sum256.
+	var block [64]byte
+	copy(block[:], "abc")
+	block[3] = 0x80
+	block[63] = 24 // bit length of "abc"
+	got := Compress(initState, &block).Bytes()
+	want := Sum256([]byte("abc"))
+	if got != want {
+		t.Errorf("Compress path = %x, want %x", got, want)
+	}
+}
+
+func TestStateBytesRoundTrip(t *testing.T) {
+	b := initState.Bytes()
+	if len(b) != 32 {
+		t.Fatal("state must serialize to 32 bytes")
+	}
+	// First word of the IV is 0x6a09e667.
+	if b[0] != 0x6a || b[1] != 0x09 || b[2] != 0xe6 || b[3] != 0x67 {
+		t.Errorf("big-endian serialization broken: % x", b[:4])
+	}
+}

@@ -1,0 +1,186 @@
+package cnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a fully connected layer over a flattened input — the "Deep
+// Neural Network" half of DaDianNao's workload. Its output neurons
+// partition across mesh nodes exactly like convolution output channels
+// (each output is one "channel" of a 1×1 spatial tensor).
+type Dense struct {
+	In, Out int
+	Weights []float32 // [out][in]
+	Bias    []float32 // [out]
+}
+
+// NewDense builds a fully connected layer with deterministic
+// pseudo-random weights.
+func NewDense(in, out int, seed int64) (*Dense, error) {
+	if in <= 0 || out <= 0 {
+		return nil, fmt.Errorf("cnn: invalid dense %d->%d", in, out)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dense{In: in, Out: out,
+		Weights: make([]float32, in*out),
+		Bias:    make([]float32, out)}
+	scale := float32(1 / math.Sqrt(float64(in)))
+	for i := range d.Weights {
+		d.Weights[i] = (rng.Float32()*2 - 1) * scale
+	}
+	for i := range d.Bias {
+		d.Bias[i] = (rng.Float32()*2 - 1) * 0.1
+	}
+	return d, nil
+}
+
+// OutChannels implements Layer.
+func (d *Dense) OutChannels(int) int { return d.Out }
+
+// Forward implements Layer.
+func (d *Dense) Forward(in *Tensor) (*Tensor, error) { return d.ForwardChannels(in, 0, d.Out) }
+
+// ForwardChannels computes output neurons [lo, hi). The input tensor is
+// flattened in C-major order.
+func (d *Dense) ForwardChannels(in *Tensor, lo, hi int) (*Tensor, error) {
+	if len(in.Data) != d.In {
+		return nil, fmt.Errorf("cnn: dense expects %d inputs, got %d", d.In, len(in.Data))
+	}
+	if lo < 0 || hi > d.Out || lo >= hi {
+		return nil, fmt.Errorf("cnn: dense neuron range [%d,%d) outside [0,%d)", lo, hi, d.Out)
+	}
+	out, err := NewTensor(hi-lo, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	for o := lo; o < hi; o++ {
+		acc := d.Bias[o]
+		row := d.Weights[o*d.In : (o+1)*d.In]
+		for i, v := range in.Data {
+			acc += row[i] * v
+		}
+		out.Data[o-lo] = acc
+	}
+	return out, nil
+}
+
+// MACs implements Layer.
+func (d *Dense) MACs(*Tensor) int64 { return int64(d.In) * int64(d.Out) }
+
+// Flatten reshapes any tensor to C×1×1 so a Dense layer can follow
+// convolutions. As a channel-preserving view it partitions trivially.
+type Flatten struct{}
+
+// OutChannels implements Layer.
+func (Flatten) OutChannels(inC int) int { return inC }
+
+// Forward implements Layer: the whole volume becomes channels.
+func (Flatten) Forward(in *Tensor) (*Tensor, error) {
+	out, err := NewTensor(in.C*in.H*in.W, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	copy(out.Data, in.Data)
+	return out, nil
+}
+
+// ForwardChannels flattens the channel slice [lo, hi) of the input. The
+// spatial elements of each channel stay contiguous, so concatenating
+// per-node results reproduces the monolithic flatten.
+func (Flatten) ForwardChannels(in *Tensor, lo, hi int) (*Tensor, error) {
+	if lo < 0 || hi > in.C || lo >= hi {
+		return nil, fmt.Errorf("cnn: flatten channel range [%d,%d) outside [0,%d)", lo, hi, in.C)
+	}
+	out, err := NewTensor((hi-lo)*in.H*in.W, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	copy(out.Data, in.Data[lo*in.H*in.W:hi*in.H*in.W])
+	return out, nil
+}
+
+// MACs implements Layer.
+func (Flatten) MACs(*Tensor) int64 { return 0 }
+
+// ReferenceClassifier extends ReferenceNetwork with flatten + two dense
+// layers, the full conv-then-classify pipeline.
+func ReferenceClassifier() (*Network, error) {
+	base, err := ReferenceNetwork()
+	if err != nil {
+		return nil, err
+	}
+	// The reference network ends at 64×8×8 for a 32×32 input.
+	fc1, err := NewDense(64*8*8, 128, 11)
+	if err != nil {
+		return nil, err
+	}
+	fc2, err := NewDense(128, 10, 12)
+	if err != nil {
+		return nil, err
+	}
+	layers := append(base.Layers, Flatten{}, fc1, ReLU{}, fc2)
+	return &Network{Layers: layers}, nil
+}
+
+// Softmax normalizes a C×1×1 tensor into a probability distribution —
+// the classifier head after the final Dense layer. It is a whole-vector
+// operation, so in the partitioned model it runs on the control node
+// after the final all-gather (OutChannels/ForwardChannels therefore
+// compute over the FULL input, matching Forward exactly regardless of
+// the partition).
+type Softmax struct{}
+
+// OutChannels implements Layer.
+func (Softmax) OutChannels(inC int) int { return inC }
+
+// Forward implements Layer with the max-subtraction trick for numeric
+// stability.
+func (Softmax) Forward(in *Tensor) (*Tensor, error) {
+	out, err := NewTensor(in.C, in.H, in.W)
+	if err != nil {
+		return nil, err
+	}
+	max := in.Data[0]
+	for _, v := range in.Data {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range in.Data {
+		e := math.Exp(float64(v - max))
+		out.Data[i] = float32(e)
+		sum += e
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("cnn: softmax underflow")
+	}
+	for i := range out.Data {
+		out.Data[i] = float32(float64(out.Data[i]) / sum)
+	}
+	return out, nil
+}
+
+// ForwardChannels computes the full softmax and returns the requested
+// slice: the denominator needs every logit, so partitioning gains
+// nothing but correctness is preserved.
+func (s Softmax) ForwardChannels(in *Tensor, lo, hi int) (*Tensor, error) {
+	if lo < 0 || hi > in.C || lo >= hi {
+		return nil, fmt.Errorf("cnn: softmax channel range [%d,%d) outside [0,%d)", lo, hi, in.C)
+	}
+	full, err := s.Forward(in)
+	if err != nil {
+		return nil, err
+	}
+	out, err := NewTensor(hi-lo, in.H, in.W)
+	if err != nil {
+		return nil, err
+	}
+	copy(out.Data, full.Data[lo*in.H*in.W:hi*in.H*in.W])
+	return out, nil
+}
+
+// MACs implements Layer.
+func (Softmax) MACs(*Tensor) int64 { return 0 }

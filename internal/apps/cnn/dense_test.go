@@ -1,0 +1,168 @@
+package cnn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDenseKnownResult(t *testing.T) {
+	d := &Dense{In: 3, Out: 2,
+		Weights: []float32{1, 2, 3, 0, -1, 1},
+		Bias:    []float32{0.5, -0.5}}
+	in, _ := NewTensor(3, 1, 1)
+	in.Data = []float32{1, 1, 2}
+	out, err := d.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// neuron 0: 1+2+6+0.5 = 9.5; neuron 1: 0-1+2-0.5 = 0.5.
+	if out.Data[0] != 9.5 || out.Data[1] != 0.5 {
+		t.Errorf("dense output = %v, want [9.5 0.5]", out.Data)
+	}
+}
+
+func TestDenseErrors(t *testing.T) {
+	if _, err := NewDense(0, 5, 1); err == nil {
+		t.Error("zero inputs should fail")
+	}
+	d, err := NewDense(4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := NewTensor(5, 1, 1)
+	if _, err := d.Forward(in); err == nil {
+		t.Error("input size mismatch should fail")
+	}
+	in4, _ := NewTensor(4, 1, 1)
+	if _, err := d.ForwardChannels(in4, 2, 1); err == nil {
+		t.Error("inverted range should fail")
+	}
+	if _, err := d.ForwardChannels(in4, 0, 4); err == nil {
+		t.Error("out-of-range neurons should fail")
+	}
+}
+
+func TestFlattenPreservesData(t *testing.T) {
+	in := randomInput(t, 4, 3, 2, 9)
+	out, err := Flatten{}.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.C != 24 || out.H != 1 || out.W != 1 {
+		t.Fatalf("flatten shape %dx%dx%d, want 24x1x1", out.C, out.H, out.W)
+	}
+	for i := range in.Data {
+		if out.Data[i] != in.Data[i] {
+			t.Fatal("flatten reordered data")
+		}
+	}
+	if _, err := (Flatten{}).ForwardChannels(in, 3, 2); err == nil {
+		t.Error("inverted flatten range should fail")
+	}
+}
+
+func TestReferenceClassifierForward(t *testing.T) {
+	net, err := ReferenceClassifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randomInput(t, 3, 32, 32, 10)
+	out, err := net.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.C != 10 || out.H != 1 || out.W != 1 {
+		t.Errorf("classifier output %dx%dx%d, want 10x1x1", out.C, out.H, out.W)
+	}
+	macs, err := net.TotalMACs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must include the fully connected layers' MACs.
+	if macs < 64*8*8*128 {
+		t.Errorf("MACs %d missing the dense layers", macs)
+	}
+}
+
+func TestClassifierPartitionedMatches(t *testing.T) {
+	// The end-to-end conv+dense pipeline must partition bit-exactly
+	// across the full 64-node mesh — including the flatten boundary.
+	net, err := ReferenceClassifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randomInput(t, 3, 32, 32, 11)
+	want, err := net.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nodes := range []int{2, 8, 64} {
+		got, err := PartitionedForward(net, in, nodes)
+		if err != nil {
+			t.Fatalf("%d nodes: %v", nodes, err)
+		}
+		for i := range want.Data {
+			if math.Abs(float64(got.Output.Data[i]-want.Data[i])) > 1e-5 {
+				t.Fatalf("%d nodes: mismatch at %d: %v vs %v",
+					nodes, i, got.Output.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	in, _ := NewTensor(4, 1, 1)
+	in.Data = []float32{1, 2, 3, 4}
+	out, err := Softmax{}.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i, v := range out.Data {
+		sum += float64(v)
+		if i > 0 && out.Data[i] <= out.Data[i-1] {
+			t.Error("softmax should preserve ordering")
+		}
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("softmax sums to %v, want 1", sum)
+	}
+	// Stability under large logits.
+	in.Data = []float32{1000, 1001, 1002, 1003}
+	if _, err := (Softmax{}).Forward(in); err != nil {
+		t.Errorf("large logits should not overflow: %v", err)
+	}
+	if _, err := (Softmax{}).ForwardChannels(in, 3, 1); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+func TestSoftmaxPartitioned(t *testing.T) {
+	// A classifier with a softmax head still partitions bit-exactly.
+	net, err := ReferenceClassifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Layers = append(net.Layers, Softmax{})
+	in := randomInput(t, 3, 32, 32, 13)
+	want, err := net.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PartitionedForward(net, in, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if math.Abs(float64(got.Output.Data[i]-want.Data[i])) > 1e-6 {
+			t.Fatalf("partitioned softmax mismatch at %d", i)
+		}
+	}
+	var sum float64
+	for _, v := range got.Output.Data {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-5 {
+		t.Errorf("partitioned probabilities sum to %v", sum)
+	}
+}

@@ -1,0 +1,272 @@
+// Package cnn is the functional substrate of the paper's Convolutional
+// Neural Network ASIC Cloud (paper §10): a real convolutional inference
+// engine whose layers can be partitioned across the 64 nodes of a
+// DaDianNao-style 8×8 mesh, plus the chip-partitioning model (how many
+// mesh nodes share a die, and which links become cheap on-chip NoC hops
+// versus board-level HyperTransport).
+package cnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a C×H×W activation volume.
+type Tensor struct {
+	C, H, W int
+	Data    []float32
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(c, h, w int) (*Tensor, error) {
+	if c <= 0 || h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("cnn: tensor dims must be positive, got %dx%dx%d", c, h, w)
+	}
+	return &Tensor{C: c, H: h, W: w, Data: make([]float32, c*h*w)}, nil
+}
+
+// At reads element (c, y, x).
+func (t *Tensor) At(c, y, x int) float32 { return t.Data[(c*t.H+y)*t.W+x] }
+
+// Set writes element (c, y, x).
+func (t *Tensor) Set(c, y, x int, v float32) { t.Data[(c*t.H+y)*t.W+x] = v }
+
+// Bytes is the tensor's size in bytes at 16-bit fixed point (DaDianNao's
+// datatype), used for inter-node traffic accounting.
+func (t *Tensor) Bytes() int { return len(t.Data) * 2 }
+
+// Layer is one stage of the network.
+type Layer interface {
+	// Forward computes the full output.
+	Forward(in *Tensor) (*Tensor, error)
+	// ForwardChannels computes output channels [lo, hi) only — the
+	// output-partitioned slice a single mesh node evaluates. Layers
+	// without a channel dimension (pooling over channels kept 1:1)
+	// compute the same channel slice of their input.
+	ForwardChannels(in *Tensor, lo, hi int) (*Tensor, error)
+	// OutChannels is the layer's output channel count.
+	OutChannels(inC int) int
+	// MACs counts multiply-accumulates for a given input size.
+	MACs(in *Tensor) int64
+}
+
+// Conv is a 2-D convolution with stride 1 and symmetric zero padding.
+type Conv struct {
+	InC, OutC, K int
+	Pad          int
+	Weights      []float32 // [outC][inC][K][K]
+	Bias         []float32 // [outC]
+}
+
+// NewConv builds a convolution with deterministic pseudo-random weights.
+func NewConv(inC, outC, k, pad int, seed int64) (*Conv, error) {
+	if inC <= 0 || outC <= 0 || k <= 0 || pad < 0 {
+		return nil, fmt.Errorf("cnn: invalid conv %d->%d k=%d pad=%d", inC, outC, k, pad)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &Conv{InC: inC, OutC: outC, K: k, Pad: pad,
+		Weights: make([]float32, outC*inC*k*k),
+		Bias:    make([]float32, outC)}
+	scale := float32(1 / math.Sqrt(float64(inC*k*k)))
+	for i := range c.Weights {
+		c.Weights[i] = (rng.Float32()*2 - 1) * scale
+	}
+	for i := range c.Bias {
+		c.Bias[i] = (rng.Float32()*2 - 1) * 0.1
+	}
+	return c, nil
+}
+
+func (c *Conv) weight(o, i, ky, kx int) float32 {
+	return c.Weights[((o*c.InC+i)*c.K+ky)*c.K+kx]
+}
+
+// OutChannels implements Layer.
+func (c *Conv) OutChannels(int) int { return c.OutC }
+
+// Forward implements Layer.
+func (c *Conv) Forward(in *Tensor) (*Tensor, error) { return c.ForwardChannels(in, 0, c.OutC) }
+
+// ForwardChannels computes output channels [lo, hi).
+func (c *Conv) ForwardChannels(in *Tensor, lo, hi int) (*Tensor, error) {
+	if in.C != c.InC {
+		return nil, fmt.Errorf("cnn: conv expects %d input channels, got %d", c.InC, in.C)
+	}
+	if lo < 0 || hi > c.OutC || lo >= hi {
+		return nil, fmt.Errorf("cnn: channel range [%d,%d) outside [0,%d)", lo, hi, c.OutC)
+	}
+	outH := in.H + 2*c.Pad - c.K + 1
+	outW := in.W + 2*c.Pad - c.K + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("cnn: conv output collapses to %dx%d", outH, outW)
+	}
+	out, err := NewTensor(hi-lo, outH, outW)
+	if err != nil {
+		return nil, err
+	}
+	for o := lo; o < hi; o++ {
+		for y := 0; y < outH; y++ {
+			for x := 0; x < outW; x++ {
+				acc := c.Bias[o]
+				for i := 0; i < c.InC; i++ {
+					for ky := 0; ky < c.K; ky++ {
+						sy := y + ky - c.Pad
+						if sy < 0 || sy >= in.H {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							sx := x + kx - c.Pad
+							if sx < 0 || sx >= in.W {
+								continue
+							}
+							acc += c.weight(o, i, ky, kx) * in.At(i, sy, sx)
+						}
+					}
+				}
+				out.Set(o-lo, y, x, acc)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MACs implements Layer.
+func (c *Conv) MACs(in *Tensor) int64 {
+	outH := in.H + 2*c.Pad - c.K + 1
+	outW := in.W + 2*c.Pad - c.K + 1
+	return int64(c.OutC) * int64(outH) * int64(outW) * int64(c.InC) * int64(c.K) * int64(c.K)
+}
+
+// ReLU is the rectifier activation.
+type ReLU struct{}
+
+// OutChannels implements Layer.
+func (ReLU) OutChannels(inC int) int { return inC }
+
+// Forward implements Layer.
+func (r ReLU) Forward(in *Tensor) (*Tensor, error) { return r.ForwardChannels(in, 0, in.C) }
+
+// ForwardChannels implements Layer.
+func (ReLU) ForwardChannels(in *Tensor, lo, hi int) (*Tensor, error) {
+	if lo < 0 || hi > in.C || lo >= hi {
+		return nil, fmt.Errorf("cnn: relu channel range [%d,%d) outside [0,%d)", lo, hi, in.C)
+	}
+	out, err := NewTensor(hi-lo, in.H, in.W)
+	if err != nil {
+		return nil, err
+	}
+	for c := lo; c < hi; c++ {
+		for y := 0; y < in.H; y++ {
+			for x := 0; x < in.W; x++ {
+				v := in.At(c, y, x)
+				if v > 0 {
+					out.Set(c-lo, y, x, v)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// MACs implements Layer.
+func (ReLU) MACs(*Tensor) int64 { return 0 }
+
+// MaxPool is non-overlapping K×K max pooling.
+type MaxPool struct{ K int }
+
+// OutChannels implements Layer.
+func (MaxPool) OutChannels(inC int) int { return inC }
+
+// Forward implements Layer.
+func (p MaxPool) Forward(in *Tensor) (*Tensor, error) { return p.ForwardChannels(in, 0, in.C) }
+
+// ForwardChannels implements Layer.
+func (p MaxPool) ForwardChannels(in *Tensor, lo, hi int) (*Tensor, error) {
+	if p.K <= 0 {
+		return nil, fmt.Errorf("cnn: pool size must be positive")
+	}
+	if lo < 0 || hi > in.C || lo >= hi {
+		return nil, fmt.Errorf("cnn: pool channel range [%d,%d) outside [0,%d)", lo, hi, in.C)
+	}
+	outH, outW := in.H/p.K, in.W/p.K
+	if outH == 0 || outW == 0 {
+		return nil, fmt.Errorf("cnn: pool output collapses")
+	}
+	out, err := NewTensor(hi-lo, outH, outW)
+	if err != nil {
+		return nil, err
+	}
+	for c := lo; c < hi; c++ {
+		for y := 0; y < outH; y++ {
+			for x := 0; x < outW; x++ {
+				best := float32(math.Inf(-1))
+				for dy := 0; dy < p.K; dy++ {
+					for dx := 0; dx < p.K; dx++ {
+						if v := in.At(c, y*p.K+dy, x*p.K+dx); v > best {
+							best = v
+						}
+					}
+				}
+				out.Set(c-lo, y, x, best)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MACs implements Layer.
+func (MaxPool) MACs(*Tensor) int64 { return 0 }
+
+// Network is a feedforward stack of layers.
+type Network struct{ Layers []Layer }
+
+// Forward runs the full network.
+func (n *Network) Forward(in *Tensor) (*Tensor, error) {
+	t := in
+	for i, l := range n.Layers {
+		var err error
+		t, err = l.Forward(t)
+		if err != nil {
+			return nil, fmt.Errorf("cnn: layer %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// TotalMACs counts the multiply-accumulates of one inference.
+func (n *Network) TotalMACs(in *Tensor) (int64, error) {
+	var total int64
+	t := in
+	for i, l := range n.Layers {
+		total += l.MACs(t)
+		var err error
+		t, err = l.Forward(t)
+		if err != nil {
+			return 0, fmt.Errorf("cnn: layer %d: %w", i, err)
+		}
+	}
+	return total, nil
+}
+
+// ReferenceNetwork builds a small but representative CNN (three conv
+// blocks) with deterministic weights for tests and benchmarks.
+func ReferenceNetwork() (*Network, error) {
+	c1, err := NewConv(3, 16, 3, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	c2, err := NewConv(16, 32, 3, 1, 2)
+	if err != nil {
+		return nil, err
+	}
+	c3, err := NewConv(32, 64, 3, 1, 3)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{Layers: []Layer{
+		c1, ReLU{}, MaxPool{K: 2},
+		c2, ReLU{}, MaxPool{K: 2},
+		c3, ReLU{},
+	}}, nil
+}

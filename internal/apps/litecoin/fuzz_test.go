@@ -1,0 +1,46 @@
+package litecoin
+
+import (
+	"bytes"
+	cryptohmac "crypto/hmac"
+	cryptosha "crypto/sha256"
+	"testing"
+)
+
+func FuzzHMACMatchesStdlib(f *testing.F) {
+	f.Add([]byte("key"), []byte("data"))
+	f.Add([]byte(""), []byte(""))
+	f.Add(bytes.Repeat([]byte{0xaa}, 131), []byte("long key path"))
+	f.Fuzz(func(t *testing.T, key, data []byte) {
+		ours := hmacSHA256(key, data)
+		mac := cryptohmac.New(cryptosha.New, key)
+		mac.Write(data)
+		if !bytes.Equal(ours[:], mac.Sum(nil)) {
+			t.Fatal("HMAC mismatch")
+		}
+	})
+}
+
+func FuzzPoWHashDeterministic(f *testing.F) {
+	seed := make([]byte, 80)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, header []byte) {
+		if len(header) != 80 {
+			if _, err := PoWHash(header); err == nil {
+				t.Fatal("non-80-byte header accepted")
+			}
+			return
+		}
+		a, err := PoWHash(header)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := PoWHash(header)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatal("scrypt PoW not deterministic")
+		}
+	})
+}

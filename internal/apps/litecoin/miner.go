@@ -1,0 +1,84 @@
+package litecoin
+
+import (
+	"fmt"
+	"math/big"
+
+	"asiccloud/internal/apps/bitcoin"
+)
+
+// Litecoin reuses Bitcoin's 80-byte header format and compact-target
+// encoding; only the proof-of-work hash differs (scrypt instead of
+// double-SHA256) and blocks arrive every 2.5 minutes instead of 10.
+
+// Header is a Litecoin block header.
+type Header = bitcoin.Header
+
+// TargetBlockSeconds is Litecoin's block interval.
+const TargetBlockSeconds = 150
+
+// PoWHashHeader computes the scrypt proof-of-work hash of a header.
+func PoWHashHeader(h *Header) ([32]byte, error) {
+	b := h.Marshal()
+	return PoWHash(b[:])
+}
+
+// CheckProofOfWork reports whether the header's scrypt hash meets its
+// compact target.
+func CheckProofOfWork(h *Header) (bool, error) {
+	target, err := bitcoin.CompactToTarget(h.Bits)
+	if err != nil {
+		return false, err
+	}
+	hash, err := PoWHashHeader(h)
+	if err != nil {
+		return false, err
+	}
+	return bitcoin.HashToInt(hash).Cmp(target) <= 0, nil
+}
+
+// Difficulty converts a compact target to Litecoin difficulty (same
+// difficulty-1 reference as Bitcoin).
+func Difficulty(bits uint32) (float64, error) { return bitcoin.Difficulty(bits) }
+
+// Mine scans count nonces from start, returning the first nonce whose
+// scrypt hash meets the header's target. Unlike the SHA-256 miner there
+// is no midstate shortcut: every attempt walks the full 128 KB
+// scratchpad — exactly why Litecoin hardware is SRAM-bound.
+func Mine(h *Header, start uint32, count uint64) (nonce uint32, found bool, err error) {
+	target, err := bitcoin.CompactToTarget(h.Bits)
+	if err != nil {
+		return 0, false, err
+	}
+	work := *h
+	n := start
+	for i := uint64(0); i < count; i++ {
+		work.Nonce = n
+		hash, err := PoWHashHeader(&work)
+		if err != nil {
+			return 0, false, err
+		}
+		if bitcoin.HashToInt(hash).Cmp(target) <= 0 {
+			return n, true, nil
+		}
+		n++
+	}
+	return 0, false, nil
+}
+
+// HashesPerShare returns the expected scrypt evaluations to find one
+// share at the given compact target.
+func HashesPerShare(bits uint32) (float64, error) {
+	target, err := bitcoin.CompactToTarget(bits)
+	if err != nil {
+		return 0, err
+	}
+	if target.Sign() <= 0 {
+		return 0, fmt.Errorf("litecoin: zero target")
+	}
+	// 2^256 / target.
+	space := new(big.Int).Lsh(big.NewInt(1), 256)
+	q := new(big.Rat).SetFrac(space, target)
+	f, _ := q.Float64()
+	return f, nil
+}

@@ -1,0 +1,81 @@
+package xcode
+
+import (
+	"fmt"
+	"math"
+)
+
+// FrameResult summarizes a whole-frame transcode.
+type FrameResult struct {
+	Blocks       int
+	NonZero      int     // total retained coefficients (bit-cost proxy)
+	PSNR         float64 // reconstruction quality vs the source (dB)
+	BitsEstimate int     // crude entropy-coded size proxy
+}
+
+// TranscodeFrame runs the block pipeline over a full frame against a
+// reference and returns the reconstructed frame plus rate/quality
+// statistics — the per-frame unit of work the XCode cloud performs at
+// planet scale. Frame dimensions must be multiples of the block size.
+func TranscodeFrame(cur, ref *Frame, qstep int32) (*Frame, FrameResult, error) {
+	if cur == nil || ref == nil {
+		return nil, FrameResult{}, fmt.Errorf("xcode: nil frame")
+	}
+	if cur.W != ref.W || cur.H != ref.H {
+		return nil, FrameResult{}, fmt.Errorf("xcode: frame size mismatch %dx%d vs %dx%d",
+			cur.W, cur.H, ref.W, ref.H)
+	}
+	if cur.W%BlockSize != 0 || cur.H%BlockSize != 0 {
+		return nil, FrameResult{}, fmt.Errorf("xcode: frame %dx%d not block aligned", cur.W, cur.H)
+	}
+	recon, err := NewFrame(cur.W, cur.H)
+	if err != nil {
+		return nil, FrameResult{}, err
+	}
+	var res FrameResult
+	for y := 0; y < cur.H; y += BlockSize {
+		for x := 0; x < cur.W; x += BlockSize {
+			block, nz, err := TranscodeBlock(cur, ref, x, y, qstep)
+			if err != nil {
+				return nil, FrameResult{}, err
+			}
+			res.Blocks++
+			res.NonZero += nz
+			for j := 0; j < BlockSize; j++ {
+				for i := 0; i < BlockSize; i++ {
+					v := block[j][i]
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					recon.Set(x+i, y+j, uint8(v))
+				}
+			}
+		}
+	}
+	res.PSNR = PSNR(cur, recon)
+	// ~12 bits per retained coefficient plus a motion vector per block:
+	// a crude but monotone size proxy.
+	res.BitsEstimate = res.NonZero*12 + res.Blocks*10
+	return recon, res, nil
+}
+
+// PSNR computes the peak signal-to-noise ratio between two equally sized
+// frames in decibels; identical frames return +Inf.
+func PSNR(a, b *Frame) float64 {
+	if a == nil || b == nil || a.W != b.W || a.H != b.H || len(a.Pix) == 0 {
+		return 0
+	}
+	var sse float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		sse += d * d
+	}
+	if sse == 0 {
+		return math.Inf(1)
+	}
+	mse := sse / float64(len(a.Pix))
+	return 10 * math.Log10(255*255/mse)
+}

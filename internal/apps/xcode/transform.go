@@ -1,0 +1,230 @@
+// Package xcode is the functional substrate of the paper's video
+// transcoding ASIC Cloud, "XCode" (paper §9): an H.265-style 8×8 integer
+// transform and sum-of-absolute-differences motion search — the two
+// kernels that dominate transcoding silicon — plus the DRAM-bound RCA
+// model from the ISSCC'15 0.5 nJ/pixel H.265 codec the paper cites.
+//
+// "Video Transcoding ASIC Clouds require DRAMs next to each ASIC, and
+// high off-PCB bandwidth": performance is set by DRAM count, not by RCA
+// count, and Pareto-optimal designs saturate the memory system.
+package xcode
+
+import "fmt"
+
+// BlockSize is the transform block dimension.
+const BlockSize = 8
+
+// Block is an 8×8 block of pixel or coefficient values.
+type Block [BlockSize][BlockSize]int32
+
+// h is the HEVC-style 8-point integer transform matrix (a scaled
+// DCT-II approximation with integer coefficients).
+var h = [8][8]int32{
+	{64, 64, 64, 64, 64, 64, 64, 64},
+	{89, 75, 50, 18, -18, -50, -75, -89},
+	{83, 36, -36, -83, -83, -36, 36, 83},
+	{75, -18, -89, -50, 50, 89, 18, -75},
+	{64, -64, -64, 64, 64, -64, -64, 64},
+	{50, -89, 18, 75, -75, -18, 89, -50},
+	{36, -83, 83, -36, -36, 83, -83, 36},
+	{18, -50, 75, -89, 89, -75, 50, -18},
+}
+
+// Forward applies the 2-D integer transform: H · X · Hᵀ with HEVC's
+// intermediate shifts for 8×8 blocks of 8-bit video (2 bits after the
+// row pass, 9 after the column pass; together with the inverse's 7+12
+// this cancels the 2³⁰ gain of the scaled matrices).
+func Forward(x Block) Block {
+	var tmp, out Block
+	for i := 0; i < BlockSize; i++ {
+		for j := 0; j < BlockSize; j++ {
+			var acc int64
+			for m := 0; m < BlockSize; m++ {
+				acc += int64(h[i][m]) * int64(x[m][j])
+			}
+			tmp[i][j] = int32((acc + 2) >> 2)
+		}
+	}
+	for i := 0; i < BlockSize; i++ {
+		for j := 0; j < BlockSize; j++ {
+			var acc int64
+			for m := 0; m < BlockSize; m++ {
+				acc += int64(tmp[i][m]) * int64(h[j][m])
+			}
+			out[i][j] = int32((acc + 256) >> 9)
+		}
+	}
+	return out
+}
+
+// Inverse applies the inverse transform Hᵀ · C · H with shifts chosen so
+// Inverse(Forward(x)) reconstructs x to within rounding error.
+func Inverse(c Block) Block {
+	var tmp, out Block
+	for i := 0; i < BlockSize; i++ {
+		for j := 0; j < BlockSize; j++ {
+			var acc int64
+			for m := 0; m < BlockSize; m++ {
+				acc += int64(h[m][i]) * int64(c[m][j])
+			}
+			tmp[i][j] = int32((acc + 64) >> 7)
+		}
+	}
+	for i := 0; i < BlockSize; i++ {
+		for j := 0; j < BlockSize; j++ {
+			var acc int64
+			for m := 0; m < BlockSize; m++ {
+				acc += int64(tmp[i][m]) * int64(h[m][j])
+			}
+			out[i][j] = int32((acc + 2048) >> 12)
+		}
+	}
+	return out
+}
+
+// Quantize divides coefficients by the quantization step (rounding
+// toward zero, as codecs do), and Dequantize multiplies back.
+func Quantize(c Block, qstep int32) (Block, error) {
+	if qstep <= 0 {
+		return Block{}, fmt.Errorf("xcode: quantization step must be positive")
+	}
+	var out Block
+	for i := range c {
+		for j := range c[i] {
+			out[i][j] = c[i][j] / qstep
+		}
+	}
+	return out, nil
+}
+
+// Dequantize reverses Quantize (lossily).
+func Dequantize(c Block, qstep int32) (Block, error) {
+	if qstep <= 0 {
+		return Block{}, fmt.Errorf("xcode: quantization step must be positive")
+	}
+	var out Block
+	for i := range c {
+		for j := range c[i] {
+			out[i][j] = c[i][j] * qstep
+		}
+	}
+	return out, nil
+}
+
+// Frame is a luma plane.
+type Frame struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewFrame allocates a frame.
+func NewFrame(w, hgt int) (*Frame, error) {
+	if w <= 0 || hgt <= 0 {
+		return nil, fmt.Errorf("xcode: frame dimensions must be positive")
+	}
+	return &Frame{W: w, H: hgt, Pix: make([]uint8, w*hgt)}, nil
+}
+
+// At returns the pixel at (x, y), clamping coordinates to the frame edge
+// (standard codec border extension).
+func (f *Frame) At(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= f.W {
+		x = f.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= f.H {
+		y = f.H - 1
+	}
+	return f.Pix[y*f.W+x]
+}
+
+// Set writes a pixel; out-of-bounds writes are ignored.
+func (f *Frame) Set(x, y int, v uint8) {
+	if x < 0 || y < 0 || x >= f.W || y >= f.H {
+		return
+	}
+	f.Pix[y*f.W+x] = v
+}
+
+// SAD computes the sum of absolute differences between the blockSize²
+// block at (x, y) in cur and the block at (x+dx, y+dy) in ref.
+func SAD(cur, ref *Frame, x, y, dx, dy, blockSize int) int {
+	var sum int
+	for j := 0; j < blockSize; j++ {
+		for i := 0; i < blockSize; i++ {
+			a := int(cur.At(x+i, y+j))
+			b := int(ref.At(x+dx+i, y+dy+j))
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum
+}
+
+// MotionVector is a block displacement with its matching cost.
+type MotionVector struct {
+	DX, DY int
+	Cost   int
+}
+
+// MotionSearch finds the best motion vector for the block at (x, y)
+// within ±searchRange by exhaustive SAD — the access pattern that makes
+// transcoding DRAM-bandwidth bound. Ties break toward the smaller
+// displacement (raster order), matching hardware implementations.
+func MotionSearch(cur, ref *Frame, x, y, blockSize, searchRange int) MotionVector {
+	best := MotionVector{Cost: int(^uint(0) >> 1)}
+	for dy := -searchRange; dy <= searchRange; dy++ {
+		for dx := -searchRange; dx <= searchRange; dx++ {
+			c := SAD(cur, ref, x, y, dx, dy, blockSize)
+			if c < best.Cost {
+				best = MotionVector{DX: dx, DY: dy, Cost: c}
+			}
+		}
+	}
+	return best
+}
+
+// TranscodeBlock runs the full per-block pipeline — motion search against
+// the reference, residual transform, quantization, reconstruction — and
+// returns the reconstructed block plus the bit-cost proxy (non-zero
+// coefficients). It is the unit of work an RCA performs.
+func TranscodeBlock(cur, ref *Frame, x, y int, qstep int32) (recon Block, nonZero int, err error) {
+	mv := MotionSearch(cur, ref, x, y, BlockSize, 8)
+	var residual Block
+	for j := 0; j < BlockSize; j++ {
+		for i := 0; i < BlockSize; i++ {
+			residual[j][i] = int32(cur.At(x+i, y+j)) - int32(ref.At(x+mv.DX+i, y+mv.DY+j))
+		}
+	}
+	coeffs := Forward(residual)
+	q, err := Quantize(coeffs, qstep)
+	if err != nil {
+		return Block{}, 0, err
+	}
+	for i := range q {
+		for j := range q[i] {
+			if q[i][j] != 0 {
+				nonZero++
+			}
+		}
+	}
+	dq, err := Dequantize(q, qstep)
+	if err != nil {
+		return Block{}, 0, err
+	}
+	rec := Inverse(dq)
+	for j := 0; j < BlockSize; j++ {
+		for i := 0; i < BlockSize; i++ {
+			recon[j][i] = rec[j][i] + int32(ref.At(x+mv.DX+i, y+mv.DY+j))
+		}
+	}
+	return recon, nonZero, nil
+}

@@ -1,0 +1,377 @@
+package xcode
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomBlock(rng *rand.Rand, max int32) Block {
+	var b Block
+	for i := range b {
+		for j := range b[i] {
+			b[i][j] = rng.Int31n(2*max+1) - max
+		}
+	}
+	return b
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		x := randomBlock(rng, 255) // residuals of 8-bit video
+		rec := Inverse(Forward(x))
+		for i := range x {
+			for j := range x[i] {
+				d := rec[i][j] - x[i][j]
+				if d < -2 || d > 2 {
+					t.Fatalf("round trip error %d at (%d,%d): %d vs %d",
+						d, i, j, rec[i][j], x[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestForwardDCBlock(t *testing.T) {
+	// A flat block has all its energy in the DC coefficient.
+	var x Block
+	for i := range x {
+		for j := range x[i] {
+			x[i][j] = 100
+		}
+	}
+	c := Forward(x)
+	if c[0][0] == 0 {
+		t.Fatal("DC coefficient should be non-zero for a flat block")
+	}
+	for i := range c {
+		for j := range c[i] {
+			if (i != 0 || j != 0) && abs32(c[i][j]) > abs32(c[0][0])/50 {
+				t.Errorf("AC coefficient (%d,%d)=%d should be tiny vs DC=%d",
+					i, j, c[i][j], c[0][0])
+			}
+		}
+	}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestTransformEnergyCompaction(t *testing.T) {
+	// A smooth gradient should concentrate energy in low frequencies.
+	var x Block
+	for i := range x {
+		for j := range x[i] {
+			x[i][j] = int32(10 * (i + j))
+		}
+	}
+	c := Forward(x)
+	var low, high int64
+	for i := range c {
+		for j := range c[i] {
+			e := int64(c[i][j]) * int64(c[i][j])
+			if i+j <= 2 {
+				low += e
+			} else {
+				high += e
+			}
+		}
+	}
+	if low < 10*high {
+		t.Errorf("energy compaction failed: low %d vs high %d", low, high)
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randomBlock(rng, 1000)
+	q, err := Quantize(x, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dq, err := Dequantize(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		for j := range x[i] {
+			d := x[i][j] - dq[i][j]
+			if d <= -10 || d >= 10 {
+				t.Fatalf("quantization error %d exceeds step", d)
+			}
+		}
+	}
+	if _, err := Quantize(x, 0); err == nil {
+		t.Error("zero step should fail")
+	}
+	if _, err := Dequantize(x, -1); err == nil {
+		t.Error("negative step should fail")
+	}
+}
+
+func TestFrameAccessors(t *testing.T) {
+	f, err := NewFrame(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Set(3, 2, 77)
+	if got := f.At(3, 2); got != 77 {
+		t.Errorf("At(3,2) = %d, want 77", got)
+	}
+	// Border extension clamps.
+	f.Set(0, 0, 11)
+	if got := f.At(-5, -5); got != 11 {
+		t.Errorf("negative coords should clamp to corner, got %d", got)
+	}
+	f.Set(15, 7, 22)
+	if got := f.At(100, 100); got != 22 {
+		t.Errorf("overflow coords should clamp to corner, got %d", got)
+	}
+	// Out-of-bounds writes are ignored.
+	f.Set(-1, 0, 99)
+	if f.At(0, 0) != 11 {
+		t.Error("out-of-bounds write mutated the frame")
+	}
+	if _, err := NewFrame(0, 5); err == nil {
+		t.Error("zero-width frame should fail")
+	}
+}
+
+func TestSADIdenticalBlocksZero(t *testing.T) {
+	f, _ := NewFrame(32, 32)
+	rng := rand.New(rand.NewSource(3))
+	for i := range f.Pix {
+		f.Pix[i] = uint8(rng.Intn(256))
+	}
+	if got := SAD(f, f, 8, 8, 0, 0, 8); got != 0 {
+		t.Errorf("SAD of identical block = %d, want 0", got)
+	}
+}
+
+func TestMotionSearchFindsPlantedShift(t *testing.T) {
+	// Build a reference with a distinctive texture and a current frame
+	// that is the reference shifted by (+3, -2): motion search must
+	// recover the displacement exactly.
+	ref, _ := NewFrame(64, 64)
+	rng := rand.New(rand.NewSource(4))
+	for i := range ref.Pix {
+		ref.Pix[i] = uint8(rng.Intn(256))
+	}
+	cur, _ := NewFrame(64, 64)
+	const sx, sy = 3, -2
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			cur.Set(x, y, ref.At(x+sx, y+sy))
+		}
+	}
+	mv := MotionSearch(cur, ref, 24, 24, 8, 8)
+	if mv.DX != sx || mv.DY != sy {
+		t.Errorf("motion vector = (%d,%d), want (%d,%d)", mv.DX, mv.DY, sx, sy)
+	}
+	if mv.Cost != 0 {
+		t.Errorf("perfect match cost = %d, want 0", mv.Cost)
+	}
+}
+
+func TestTranscodeBlockReconstruction(t *testing.T) {
+	ref, _ := NewFrame(64, 64)
+	rng := rand.New(rand.NewSource(5))
+	for i := range ref.Pix {
+		ref.Pix[i] = uint8(rng.Intn(256))
+	}
+	// Current frame: shifted reference plus mild noise.
+	cur, _ := NewFrame(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			v := int(ref.At(x+1, y)) + rng.Intn(5) - 2
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			cur.Set(x, y, uint8(v))
+		}
+	}
+	// The scaled transform has a gain of 16, so quantization step 64
+	// corresponds to a pixel-domain step of 4.
+	recon, nonZero, err := TranscodeBlock(cur, ref, 16, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruction error bounded by the pixel-domain step.
+	for j := 0; j < BlockSize; j++ {
+		for i := 0; i < BlockSize; i++ {
+			want := int32(cur.At(16+i, 16+j))
+			d := recon[j][i] - want
+			if d < -10 || d > 10 {
+				t.Fatalf("reconstruction error %d at (%d,%d)", d, i, j)
+			}
+		}
+	}
+	// Mild noise at a coarse step should produce a sparse residual.
+	if nonZero > 30 {
+		t.Errorf("nonZero = %d, want sparse coefficients", nonZero)
+	}
+	if _, _, err := TranscodeBlock(cur, ref, 16, 16, 0); err == nil {
+		t.Error("zero qstep should fail")
+	}
+}
+
+func TestSADTriangleProperty(t *testing.T) {
+	// SAD is non-negative and zero displacement on identical frames is
+	// never beaten.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		frame, _ := NewFrame(32, 32)
+		for i := range frame.Pix {
+			frame.Pix[i] = uint8(rng.Intn(256))
+		}
+		mv := MotionSearch(frame, frame, 12, 12, 8, 4)
+		return mv.DX == 0 && mv.DY == 0 && mv.Cost == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServerConfig(t *testing.T) {
+	cfg, err := ServerConfig(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DRAM.PerASIC != 6 {
+		t.Errorf("DRAMs per ASIC = %d, want 6", cfg.DRAM.PerASIC)
+	}
+	if cfg.PerfPerDRAM != PerfPerDRAM {
+		t.Error("PerfPerDRAM not wired")
+	}
+	if cfg.Network == nil || cfg.Network.OffLinks != 2 {
+		t.Error("two 10-GigE off-PCB ports expected (paper §9)")
+	}
+	if _, err := ServerConfig(-1); err == nil {
+		t.Error("negative DRAM count should fail")
+	}
+	spec := RCA()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// "One DRAM satisfies 22 RCA's at 0.9V": per-RCA perf at 0.9 V times
+	// 22 should be within a few percent of one DRAM's capacity.
+	op, err := spec.At(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := op.Perf * 22
+	if got < 0.60 || got > 0.72 {
+		t.Errorf("22 RCAs at 0.9 V = %.3f Kfps, want ~0.66 (one DRAM)", got)
+	}
+}
+
+func makeNoisyPair(t *testing.T, seed int64, w, h int) (cur, ref *Frame) {
+	t.Helper()
+	var err error
+	ref, err = NewFrame(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range ref.Pix {
+		ref.Pix[i] = uint8(rng.Intn(256))
+	}
+	cur, err = NewFrame(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := int(ref.At(x+1, y)) + rng.Intn(7) - 3
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			cur.Set(x, y, uint8(v))
+		}
+	}
+	return cur, ref
+}
+
+func TestTranscodeFrame(t *testing.T) {
+	cur, ref := makeNoisyPair(t, 11, 64, 48)
+	recon, res, err := TranscodeFrame(cur, ref, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocks != (64/8)*(48/8) {
+		t.Errorf("blocks = %d, want %d", res.Blocks, 48)
+	}
+	// Motion compensation plus a coarse step: high but finite PSNR.
+	if res.PSNR < 35 {
+		t.Errorf("PSNR = %.1f dB, want > 35", res.PSNR)
+	}
+	if res.BitsEstimate <= res.Blocks*10 {
+		t.Error("bit estimate should include coefficients")
+	}
+	if recon.W != cur.W || recon.H != cur.H {
+		t.Error("reconstruction size mismatch")
+	}
+	// Rate-distortion monotonicity: a finer step spends more bits and
+	// gains quality.
+	_, fine, err := TranscodeFrame(cur, ref, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.BitsEstimate <= res.BitsEstimate {
+		t.Errorf("finer quantization should cost bits: %d vs %d", fine.BitsEstimate, res.BitsEstimate)
+	}
+	if fine.PSNR <= res.PSNR {
+		t.Errorf("finer quantization should raise PSNR: %.1f vs %.1f", fine.PSNR, res.PSNR)
+	}
+}
+
+func TestTranscodeFrameErrors(t *testing.T) {
+	cur, ref := makeNoisyPair(t, 12, 64, 48)
+	if _, _, err := TranscodeFrame(nil, ref, 8); err == nil {
+		t.Error("nil frame should fail")
+	}
+	small, _ := NewFrame(32, 32)
+	if _, _, err := TranscodeFrame(cur, small, 8); err == nil {
+		t.Error("size mismatch should fail")
+	}
+	odd, _ := NewFrame(60, 48)
+	odd2, _ := NewFrame(60, 48)
+	if _, _, err := TranscodeFrame(odd, odd2, 8); err == nil {
+		t.Error("non-aligned frame should fail")
+	}
+	if _, _, err := TranscodeFrame(cur, ref, 0); err == nil {
+		t.Error("zero qstep should fail")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a, _ := NewFrame(16, 16)
+	b, _ := NewFrame(16, 16)
+	for i := range a.Pix {
+		a.Pix[i] = uint8(i)
+		b.Pix[i] = uint8(i)
+	}
+	if !math.IsInf(PSNR(a, b), 1) {
+		t.Error("identical frames should have infinite PSNR")
+	}
+	b.Pix[0] ^= 0xff
+	p := PSNR(a, b)
+	if p <= 0 || math.IsInf(p, 1) {
+		t.Errorf("PSNR = %v, want finite positive", p)
+	}
+	if PSNR(a, nil) != 0 {
+		t.Error("nil frame PSNR should be 0")
+	}
+}

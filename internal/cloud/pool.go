@@ -1,0 +1,375 @@
+// Package cloud is the scale-out layer of an ASIC Cloud: a pool server
+// that distributes independent jobs to worker machines over TCP, in the
+// style of the third-party pool servers Bitcoin machines pull work from
+// ("Machines on the network request work to do from a third-party pool
+// server"), and of the paper's general model — "ASIC Clouds target
+// workloads consisting of many independent but similar jobs ... Work
+// requests from outside the datacenter will be distributed across these
+// RCAs in a scale-out fashion."
+//
+// The protocol is line-delimited JSON. Workers pull: they connect, say
+// hello, then alternate getwork requests and result submissions.
+package cloud
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Job is one independent unit of work.
+type Job struct {
+	ID      uint64 `json:"id"`
+	Payload []byte `json:"payload"`
+}
+
+// Result is a completed (or failed) job.
+type Result struct {
+	JobID  uint64 `json:"job_id"`
+	Worker string `json:"worker"`
+	Output []byte `json:"output,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// message is the wire envelope.
+type message struct {
+	Type   string  `json:"type"` // hello, getwork, job, nojob, result, ack
+	Worker string  `json:"worker,omitempty"`
+	Job    *Job    `json:"job,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+// Stats summarizes pool progress.
+type Stats struct {
+	JobsQueued    int
+	JobsDone      int
+	JobsFailed    int
+	JobsRequeued  int
+	WorkerResults map[string]int
+}
+
+// lease tracks a job handed to a worker that has not reported back.
+type lease struct {
+	job      Job
+	deadline time.Time
+}
+
+// Pool is the job server.
+type Pool struct {
+	mu      sync.Mutex
+	pending []Job
+	leases  map[uint64]lease
+	done    map[uint64]bool
+	stats   Stats
+	results chan Result
+	closed  bool
+	// leaseDuration bounds how long a worker may hold a job before it
+	// is assumed dead and the job is requeued (0 = no leasing).
+	leaseDuration time.Duration
+	// now is injectable for deterministic tests.
+	now func() time.Time
+}
+
+// NewPool creates a pool preloaded with jobs.
+func NewPool(jobs []Job) *Pool {
+	p := &Pool{
+		pending: append([]Job(nil), jobs...),
+		leases:  make(map[uint64]lease),
+		done:    make(map[uint64]bool),
+		results: make(chan Result, len(jobs)+16),
+		now:     time.Now,
+	}
+	p.stats.JobsQueued = len(jobs)
+	p.stats.WorkerResults = make(map[string]int)
+	return p
+}
+
+// SetLeaseDuration enables work recovery: a job not answered within d
+// is handed to the next worker that asks. Results arriving after the
+// job was re-answered are ignored (first result wins).
+func (p *Pool) SetLeaseDuration(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.leaseDuration = d
+}
+
+// reapExpiredLocked requeues jobs whose lease has lapsed. Callers hold
+// p.mu.
+func (p *Pool) reapExpiredLocked() {
+	if p.leaseDuration <= 0 {
+		return
+	}
+	now := p.now()
+	for id, l := range p.leases {
+		if now.After(l.deadline) {
+			delete(p.leases, id)
+			p.pending = append(p.pending, l.job)
+			p.stats.JobsRequeued++
+		}
+	}
+}
+
+// Add enqueues another job. It fails once the pool has been drained and
+// closed.
+func (p *Pool) Add(j Job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errors.New("cloud: pool closed")
+	}
+	p.pending = append(p.pending, j)
+	p.stats.JobsQueued++
+	return nil
+}
+
+// next pops a job, or ok=false when none remain. Expired leases are
+// recycled first.
+func (p *Pool) next() (Job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reapExpiredLocked()
+	for len(p.pending) > 0 {
+		j := p.pending[0]
+		p.pending = p.pending[1:]
+		if p.done[j.ID] {
+			continue // a late duplicate beat this requeue
+		}
+		if p.leaseDuration > 0 {
+			p.leases[j.ID] = lease{job: j, deadline: p.now().Add(p.leaseDuration)}
+		}
+		return j, true
+	}
+	return Job{}, false
+}
+
+// record stores a result, ignoring duplicates for the same job.
+func (p *Pool) record(r Result) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done[r.JobID] {
+		return
+	}
+	p.done[r.JobID] = true
+	delete(p.leases, r.JobID)
+	if r.Err == "" {
+		p.stats.JobsDone++
+	} else {
+		p.stats.JobsFailed++
+	}
+	p.stats.WorkerResults[r.Worker]++
+	select {
+	case p.results <- r:
+	default:
+		// Results channel full: drop for the stream, stats still count.
+	}
+}
+
+// Stats returns a snapshot.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.WorkerResults = make(map[string]int, len(p.stats.WorkerResults))
+	for k, v := range p.stats.WorkerResults {
+		s.WorkerResults[k] = v
+	}
+	return s
+}
+
+// Results streams completed jobs.
+func (p *Pool) Results() <-chan Result { return p.results }
+
+// Remaining reports jobs not yet handed out.
+func (p *Pool) Remaining() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}
+
+// Serve accepts worker connections until the context is canceled or the
+// listener fails. Each connection is served on its own goroutine.
+func (p *Pool) Serve(ctx context.Context, l net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	go func() {
+		<-ctx.Done()
+		l.Close()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("cloud: accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			p.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn speaks the pull protocol with one worker.
+func (p *Pool) serveConn(conn net.Conn) {
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	worker := "anonymous"
+	for {
+		var m message
+		if err := dec.Decode(&m); err != nil {
+			return // disconnect or garbage: drop the connection
+		}
+		switch m.Type {
+		case "hello":
+			if m.Worker != "" {
+				worker = m.Worker
+			}
+			if err := enc.Encode(message{Type: "ack"}); err != nil {
+				return
+			}
+		case "getwork":
+			j, ok := p.next()
+			if !ok {
+				_ = enc.Encode(message{Type: "nojob"})
+				return
+			}
+			if err := enc.Encode(message{Type: "job", Job: &j}); err != nil {
+				// Connection died holding a job: requeue it.
+				p.mu.Lock()
+				delete(p.leases, j.ID)
+				p.pending = append(p.pending, j)
+				p.mu.Unlock()
+				return
+			}
+		case "result":
+			if m.Result == nil {
+				return
+			}
+			r := *m.Result
+			if r.Worker == "" {
+				r.Worker = worker
+			}
+			p.record(r)
+			if err := enc.Encode(message{Type: "ack"}); err != nil {
+				return
+			}
+		default:
+			return // unknown message: drop the connection
+		}
+	}
+}
+
+// Handler computes a job's output — for a Bitcoin cloud, scanning a
+// nonce range; for a transcode cloud, encoding a chunk.
+type Handler func(Job) ([]byte, error)
+
+// RunWorker connects to a pool and processes jobs until the pool runs
+// dry, the context is canceled, or the connection breaks. It returns the
+// number of jobs completed.
+func RunWorker(ctx context.Context, addr, id string, h Handler) (int, error) {
+	if h == nil {
+		return 0, errors.New("cloud: nil handler")
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("cloud: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	go func() {
+		<-ctx.Done()
+		conn.Close()
+	}()
+
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(message{Type: "hello", Worker: id}); err != nil {
+		return 0, err
+	}
+	var m message
+	if err := dec.Decode(&m); err != nil || m.Type != "ack" {
+		return 0, fmt.Errorf("cloud: bad handshake")
+	}
+
+	completed := 0
+	for {
+		if err := enc.Encode(message{Type: "getwork"}); err != nil {
+			return completed, ctxErrOr(ctx, err)
+		}
+		if err := dec.Decode(&m); err != nil {
+			return completed, ctxErrOr(ctx, err)
+		}
+		switch m.Type {
+		case "nojob":
+			return completed, nil
+		case "job":
+			if m.Job == nil {
+				return completed, errors.New("cloud: job message without job")
+			}
+			out, herr := h(*m.Job)
+			r := Result{JobID: m.Job.ID, Worker: id, Output: out}
+			if herr != nil {
+				r.Err = herr.Error()
+			}
+			if err := enc.Encode(message{Type: "result", Result: &r}); err != nil {
+				return completed, ctxErrOr(ctx, err)
+			}
+			if err := dec.Decode(&m); err != nil || m.Type != "ack" {
+				return completed, ctxErrOr(ctx, errors.New("cloud: missing result ack"))
+			}
+			completed++
+		default:
+			return completed, fmt.Errorf("cloud: unexpected message %q", m.Type)
+		}
+	}
+}
+
+func ctxErrOr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if errors.Is(err, io.EOF) {
+		return nil
+	}
+	return err
+}
+
+// RunFleet launches n workers against the pool address and waits for all
+// of them to drain it, returning the total jobs completed. Worker IDs
+// are prefix-0 ... prefix-(n-1). The first worker error (other than a
+// clean pool drain) is returned, but all workers always finish.
+func RunFleet(ctx context.Context, addr, prefix string, n int, h Handler) (int, error) {
+	if n <= 0 {
+		return 0, errors.New("cloud: fleet needs at least one worker")
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		total    int
+		firstErr error
+	)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			done, err := RunWorker(ctx, addr, fmt.Sprintf("%s-%d", prefix, id), h)
+			mu.Lock()
+			defer mu.Unlock()
+			total += done
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}(w)
+	}
+	wg.Wait()
+	return total, firstErr
+}

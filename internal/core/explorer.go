@@ -1,0 +1,270 @@
+// Package core implements the paper's design-space exploration
+// methodology — the primary contribution of "ASIC Clouds: Specializing
+// the Datacenter". Given an RCA spec, it employs "clever but brute-force
+// search to find the best jointly-optimized ASIC, DRAM subsystem,
+// motherboard, power delivery system, cooling system, operating voltage,
+// and case design": it sweeps operating voltage, silicon per lane, chips
+// per lane and DRAM count; prunes infeasible configurations; extracts
+// the Pareto frontier over $ per op/s and W per op/s; and selects the
+// energy-optimal, cost-optimal and TCO-optimal servers.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"asiccloud/internal/dram"
+	"asiccloud/internal/pareto"
+	"asiccloud/internal/server"
+	"asiccloud/internal/tco"
+)
+
+// Sweep describes the search space around a base configuration.
+type Sweep struct {
+	// Base provides the RCA and all fixed server components. Voltage,
+	// ChipsPerLane, RCAsPerChip and DRAM.PerASIC are overwritten by the
+	// sweep.
+	Base server.Config
+
+	// Voltages to evaluate; empty selects the paper's grid, "all
+	// operating voltages from 0.4 up in increments of 0.01V".
+	Voltages []float64
+
+	// SiliconPerLane lists target RCA silicon per lane in mm²; empty
+	// selects the paper's series (30 ... 6000 mm²).
+	SiliconPerLane []float64
+
+	// ChipsPerLane lists chip counts; empty selects 1..20.
+	ChipsPerLane []int
+
+	// DRAMPerASIC lists DRAM device counts per ASIC to sweep; empty
+	// means {0} (no DRAM). Non-zero entries require Base.DRAM's Device
+	// kind to be set (PerASIC is overwritten).
+	DRAMPerASIC []int
+
+	// Stacked additionally evaluates voltage-stacked variants.
+	Stacked bool
+}
+
+// DefaultSiliconPerLane is the paper's silicon-per-lane series
+// (Figures 9-12, 14).
+func DefaultSiliconPerLane() []float64 {
+	return []float64{30, 50, 80, 130, 210, 330, 530, 850, 1400, 2200, 3000, 6000}
+}
+
+// DefaultChipsPerLane is the paper's chip-count range: "start from the
+// right with the maximum number of chips, 20".
+func DefaultChipsPerLane() []int {
+	out := make([]int, 20)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// VoltageGrid returns voltages from lo to hi inclusive in 0.01 V steps.
+func VoltageGrid(lo, hi float64) []float64 {
+	if hi < lo {
+		return nil
+	}
+	var out []float64
+	// Work in integer hundredths to avoid accumulation error.
+	for c := int(math.Round(lo * 100)); c <= int(math.Round(hi*100)); c++ {
+		out = append(out, float64(c)/100)
+	}
+	return out
+}
+
+// Point is one feasible design with its TCO.
+type Point struct {
+	server.Evaluation
+	TCO tco.Breakdown
+}
+
+// TCOPerOp is the headline metric: TCO per unit performance over the
+// server lifetime.
+func (p Point) TCOPerOp() float64 { return p.TCO.Total() }
+
+// Result of a design-space exploration.
+type Result struct {
+	// Points holds every feasible evaluated design.
+	Points []Point
+	// Frontier is the Pareto-optimal subset under ($ per op/s, W per
+	// op/s) minimization, ordered by ascending $ per op/s.
+	Frontier []Point
+	// EnergyOptimal, CostOptimal and TCOOptimal are the three columns
+	// of the paper's per-application tables.
+	EnergyOptimal Point
+	CostOptimal   Point
+	TCOOptimal    Point
+}
+
+// Explore runs the brute-force search in parallel and summarizes it.
+func Explore(sweep Sweep, model tco.Model) (Result, error) {
+	if err := model.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := sweep.Base.RCA.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	voltages := sweep.Voltages
+	if len(voltages) == 0 {
+		voltages = VoltageGrid(sweep.Base.RCA.MinVoltage(), sweep.Base.RCA.MaxVoltage())
+	}
+	silicon := sweep.SiliconPerLane
+	if len(silicon) == 0 {
+		silicon = DefaultSiliconPerLane()
+	}
+	chips := sweep.ChipsPerLane
+	if len(chips) == 0 {
+		chips = DefaultChipsPerLane()
+	}
+	drams := sweep.DRAMPerASIC
+	if len(drams) == 0 {
+		drams = []int{0}
+	}
+
+	// Build the geometry work list, de-duplicating silicon targets that
+	// quantize to the same RCAs per chip.
+	type geom struct {
+		rcasPerChip int
+		chipsLane   int
+		dramPerASIC int
+	}
+	seen := make(map[geom]bool)
+	var work []geom
+	for _, sil := range silicon {
+		for _, n := range chips {
+			r := int(math.Round(sil / float64(n) / sweep.Base.RCA.Area))
+			if r < 1 {
+				continue
+			}
+			for _, d := range drams {
+				g := geom{rcasPerChip: r, chipsLane: n, dramPerASIC: d}
+				if !seen[g] {
+					seen[g] = true
+					work = append(work, g)
+				}
+			}
+		}
+	}
+	if len(work) == 0 {
+		return Result{}, errors.New("core: empty design space")
+	}
+
+	stackedOptions := []bool{false}
+	if sweep.Stacked {
+		stackedOptions = append(stackedOptions, true)
+	}
+
+	var (
+		mu     sync.Mutex
+		points []Point
+		wg     sync.WaitGroup
+	)
+	workCh := make(chan geom)
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []Point
+			for g := range workCh {
+				cfg := sweep.Base
+				cfg.RCAsPerChip = g.rcasPerChip
+				cfg.ChipsPerLane = g.chipsLane
+				if g.dramPerASIC > 0 {
+					sub, err := dram.NewSubsystem(cfg.DRAM.Device.Kind, g.dramPerASIC)
+					if err != nil {
+						continue
+					}
+					cfg.DRAM = sub
+				} else {
+					cfg.DRAM = dram.Subsystem{}
+				}
+				plan, err := server.ThermalPlan(cfg)
+				if err != nil {
+					continue // geometry does not fit at any voltage
+				}
+				for _, stacked := range stackedOptions {
+					cfg.Stacked = stacked
+					for _, v := range voltages {
+						cfg.Voltage = v
+						ev, err := server.EvaluateWithPlan(cfg, plan)
+						if err != nil {
+							if errors.Is(err, server.ErrThermal) {
+								// Chip heat grows monotonically
+								// with voltage: all higher
+								// voltages fail too.
+								break
+							}
+							continue
+						}
+						b := model.Of(ev.DollarsPerOp, ev.WattsPerOp)
+						local = append(local, Point{Evaluation: ev, TCO: b})
+					}
+				}
+			}
+			mu.Lock()
+			points = append(points, local...)
+			mu.Unlock()
+		}()
+	}
+	for _, g := range work {
+		workCh <- g
+	}
+	close(workCh)
+	wg.Wait()
+
+	if len(points) == 0 {
+		return Result{}, errors.New("core: no feasible design point in the swept space")
+	}
+
+	// Deterministic order regardless of scheduling.
+	sort.Slice(points, func(i, j int) bool {
+		a, b := points[i], points[j]
+		if a.DollarsPerOp != b.DollarsPerOp {
+			return a.DollarsPerOp < b.DollarsPerOp
+		}
+		if a.WattsPerOp != b.WattsPerOp {
+			return a.WattsPerOp < b.WattsPerOp
+		}
+		return a.Config.Voltage < b.Config.Voltage
+	})
+
+	res := Result{Points: points}
+	fr := pareto.Frontier(points,
+		func(p Point) float64 { return p.DollarsPerOp },
+		func(p Point) float64 { return p.WattsPerOp })
+	res.Frontier = pareto.Select(points, fr)
+
+	if i := pareto.ArgMin(points, func(p Point) float64 { return p.WattsPerOp }); i >= 0 {
+		res.EnergyOptimal = points[i]
+	}
+	if i := pareto.ArgMin(points, func(p Point) float64 { return p.DollarsPerOp }); i >= 0 {
+		res.CostOptimal = points[i]
+	}
+	if i := pareto.ArgMin(points, func(p Point) float64 { return p.TCOPerOp() }); i >= 0 {
+		res.TCOOptimal = points[i]
+	}
+	return res, nil
+}
+
+// Describe renders a point like the paper's per-application tables.
+func (p Point) Describe() string {
+	cfg := p.Config
+	return fmt.Sprintf(
+		"%d chips/lane × %d lanes, %.0f mm² dies (%d RCAs), %.2f V, %.0f MHz: "+
+			"%.1f %s/server, %.0f W, $%.0f → %.4g $/%s, %.4g W/%s, TCO %.4g",
+		cfg.ChipsPerLane, cfg.Lanes, p.DieArea, cfg.RCAsPerChip,
+		cfg.Voltage, p.Freq/1e6,
+		p.Perf, cfg.RCA.PerfUnit, p.WallPower, p.Cost(),
+		p.DollarsPerOp, cfg.RCA.PerfUnit, p.WattsPerOp, cfg.RCA.PerfUnit,
+		p.TCOPerOp(),
+	)
+}

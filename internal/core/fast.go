@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"asiccloud/internal/dram"
+	"asiccloud/internal/server"
+	"asiccloud/internal/tco"
+	"asiccloud/internal/thermal"
+)
+
+// FindTCOOptimal locates the TCO-optimal design without sweeping every
+// voltage: per geometry it evaluates a coarse 0.05 V grid and then
+// refines ±0.04 V around the coarse winner at the full 0.01 V
+// resolution. TCO is smooth and single-troughed in voltage for a fixed
+// geometry (costs fall and watts rise monotonically), so the refinement
+// finds the same optimum as the brute force roughly five times faster —
+// useful inside sensitivity studies and interactive tools. Tests assert
+// agreement with Explore.
+func FindTCOOptimal(sweep Sweep, model tco.Model) (Point, error) {
+	if err := model.Validate(); err != nil {
+		return Point{}, err
+	}
+	if err := sweep.Base.RCA.Validate(); err != nil {
+		return Point{}, err
+	}
+
+	minV := sweep.Base.RCA.MinVoltage()
+	maxV := sweep.Base.RCA.MaxVoltage()
+	if len(sweep.Voltages) > 0 {
+		minV, maxV = sweep.Voltages[0], sweep.Voltages[0]
+		for _, v := range sweep.Voltages {
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+	silicon := sweep.SiliconPerLane
+	if len(silicon) == 0 {
+		silicon = DefaultSiliconPerLane()
+	}
+	chips := sweep.ChipsPerLane
+	if len(chips) == 0 {
+		chips = DefaultChipsPerLane()
+	}
+	drams := sweep.DRAMPerASIC
+	if len(drams) == 0 {
+		drams = []int{0}
+	}
+
+	coarse := func(lo, hi, step float64) []float64 {
+		var out []float64
+		for c := int(math.Round(lo * 100)); c <= int(math.Round(hi*100)); c += int(math.Round(step * 100)) {
+			out = append(out, float64(c)/100)
+		}
+		return out
+	}
+
+	var best *Point
+	consider := func(cfg server.Config, plan thermal.OptimizeResult, v float64) float64 {
+		cfg.Voltage = v
+		ev, err := server.EvaluateWithPlan(cfg, plan)
+		if err != nil {
+			return math.Inf(1)
+		}
+		b := model.Of(ev.DollarsPerOp, ev.WattsPerOp)
+		if best == nil || b.Total() < best.TCOPerOp() {
+			p := Point{Evaluation: ev, TCO: b}
+			best = &p
+		}
+		return b.Total()
+	}
+
+	seen := make(map[[3]int]bool)
+	for _, sil := range silicon {
+		for _, n := range chips {
+			r := int(math.Round(sil / float64(n) / sweep.Base.RCA.Area))
+			if r < 1 {
+				continue
+			}
+			for _, d := range drams {
+				key := [3]int{r, n, d}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				cfg := sweep.Base
+				cfg.RCAsPerChip = r
+				cfg.ChipsPerLane = n
+				if d > 0 {
+					sub, err := dram.NewSubsystem(cfg.DRAM.Device.Kind, d)
+					if err != nil {
+						continue
+					}
+					cfg.DRAM = sub
+				} else {
+					cfg.DRAM = dram.Subsystem{}
+				}
+				plan, err := server.ThermalPlan(cfg)
+				if err != nil {
+					continue
+				}
+
+				// Coarse pass.
+				bestV, bestT := math.NaN(), math.Inf(1)
+				for _, v := range coarse(minV, maxV, 0.05) {
+					if t := consider(cfg, plan, v); t < bestT {
+						bestT, bestV = t, v
+					}
+				}
+				if math.IsNaN(bestV) {
+					continue
+				}
+				// Refinement around the coarse winner.
+				lo := math.Max(minV, bestV-0.04)
+				hi := math.Min(maxV, bestV+0.04)
+				for _, v := range coarse(lo, hi, 0.01) {
+					consider(cfg, plan, v)
+				}
+			}
+		}
+	}
+	if best == nil {
+		return Point{}, errors.New("core: no feasible design point in the swept space")
+	}
+	return *best, nil
+}

@@ -1,0 +1,141 @@
+// Package dram models the ASIC-local DRAM subsystem: the memory
+// technologies an ASIC Cloud can provision per application ("LP-DDR3,
+// DDR4, GDDR5, HBM..."), their bandwidth, power, cost, board footprint,
+// and the on-die controller each channel requires (paper §5, §9).
+package dram
+
+import "fmt"
+
+// Kind selects a DRAM technology.
+type Kind int
+
+const (
+	LPDDR3 Kind = iota
+	DDR4
+	GDDR5
+	HBM
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case LPDDR3:
+		return "LPDDR3"
+	case DDR4:
+		return "DDR4"
+	case GDDR5:
+		return "GDDR5"
+	case HBM:
+		return "HBM"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Device describes one DRAM package/stack plus the per-channel controller
+// it requires on the ASIC.
+type Device struct {
+	Kind      Kind
+	Bandwidth float64 // GB/s per device
+	Power     float64 // W per device at full utilization
+	Cost      float64 // $ per device
+	// BoardDepth is the lane depth (m, along airflow) consumed per row
+	// of devices beside the ASIC. HBM consumes none (it stacks on the
+	// interposer).
+	BoardDepth float64
+	// DevicesPerRow beside an ASIC; the paper places video-transcode
+	// DRAMs "in rows of 3 on either side of the ASIC".
+	DevicesPerRow int
+	// CtrlArea is the ASIC-side controller+PHY area per device (mm²).
+	CtrlArea float64
+	// CtrlPower is the controller+PHY power per device (W). Memory
+	// controllers "do not voltage scale" — this power is fixed.
+	CtrlPower float64
+	// SignalPins per device on the ASIC package.
+	SignalPins int
+}
+
+// Catalog returns the modeled device for a technology, calibrated to
+// 2015-era parts.
+func Catalog(k Kind) (Device, error) {
+	switch k {
+	case LPDDR3:
+		return Device{
+			Kind: LPDDR3, Bandwidth: 12.8, Power: 0.9, Cost: 7.0,
+			BoardDepth: 0.014, DevicesPerRow: 3,
+			CtrlArea: 6.5, CtrlPower: 0.45, SignalPins: 60,
+		}, nil
+	case DDR4:
+		return Device{
+			Kind: DDR4, Bandwidth: 19.2, Power: 2.5, Cost: 9.0,
+			BoardDepth: 0.015, DevicesPerRow: 3,
+			CtrlArea: 7.5, CtrlPower: 0.7, SignalPins: 90,
+		}, nil
+	case GDDR5:
+		return Device{
+			Kind: GDDR5, Bandwidth: 28.0, Power: 5.5, Cost: 14.0,
+			BoardDepth: 0.016, DevicesPerRow: 2,
+			CtrlArea: 11.0, CtrlPower: 1.6, SignalPins: 110,
+		}, nil
+	case HBM:
+		return Device{
+			Kind: HBM, Bandwidth: 128.0, Power: 14.0, Cost: 120.0,
+			BoardDepth: 0, DevicesPerRow: 0,
+			CtrlArea: 18.0, CtrlPower: 2.5, SignalPins: 0,
+		}, nil
+	default:
+		return Device{}, fmt.Errorf("dram: unknown kind %d", int(k))
+	}
+}
+
+// Subsystem is the DRAM complement attached to one ASIC.
+type Subsystem struct {
+	Device  Device
+	PerASIC int // devices per ASIC
+}
+
+// NewSubsystem builds a subsystem of n devices of kind k per ASIC.
+func NewSubsystem(k Kind, n int) (Subsystem, error) {
+	if n < 0 {
+		return Subsystem{}, fmt.Errorf("dram: negative device count %d", n)
+	}
+	d, err := Catalog(k)
+	if err != nil {
+		return Subsystem{}, err
+	}
+	return Subsystem{Device: d, PerASIC: n}, nil
+}
+
+// Bandwidth is the aggregate GB/s available to one ASIC.
+func (s Subsystem) Bandwidth() float64 { return s.Device.Bandwidth * float64(s.PerASIC) }
+
+// Power is the DRAM-side power per ASIC (devices only; controller power
+// is on the ASIC die and reported separately).
+func (s Subsystem) Power() float64 { return s.Device.Power * float64(s.PerASIC) }
+
+// CtrlPower is the fixed (non-voltage-scaling) controller power on the
+// ASIC per ASIC.
+func (s Subsystem) CtrlPower() float64 { return s.Device.CtrlPower * float64(s.PerASIC) }
+
+// CtrlArea is the die area consumed by controllers per ASIC in mm².
+func (s Subsystem) CtrlArea() float64 { return s.Device.CtrlArea * float64(s.PerASIC) }
+
+// Cost is the DRAM bill of materials per ASIC.
+func (s Subsystem) Cost() float64 { return s.Device.Cost * float64(s.PerASIC) }
+
+// SignalPins is the extra package pin count per ASIC.
+func (s Subsystem) SignalPins() int { return s.Device.SignalPins * s.PerASIC }
+
+// BoardDepth is the lane depth (m) consumed next to one ASIC by its DRAM
+// rows: devices fill rows of DevicesPerRow on either side of the ASIC,
+// perpendicular to the airflow.
+func (s Subsystem) BoardDepth() float64 {
+	if s.PerASIC == 0 || s.Device.DevicesPerRow == 0 {
+		return 0
+	}
+	// Two rows (one per side) are consumed per row-pair; row pairs sit
+	// at the same lane depth.
+	perPair := 2 * s.Device.DevicesPerRow
+	pairs := (s.PerASIC + perPair - 1) / perPair
+	return float64(pairs) * s.Device.BoardDepth
+}

@@ -1,0 +1,121 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogCoversAllKinds(t *testing.T) {
+	for _, k := range []Kind{LPDDR3, DDR4, GDDR5, HBM} {
+		d, err := Catalog(k)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if d.Bandwidth <= 0 || d.Cost <= 0 || d.Power <= 0 {
+			t.Errorf("%v: non-positive bandwidth/cost/power: %+v", k, d)
+		}
+		if d.Kind != k {
+			t.Errorf("%v: kind mismatch", k)
+		}
+	}
+	if _, err := Catalog(Kind(99)); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{LPDDR3: "LPDDR3", DDR4: "DDR4", GDDR5: "GDDR5", HBM: "HBM", Kind(7): "Kind(7)"}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestBandwidthOrdering(t *testing.T) {
+	lp, _ := Catalog(LPDDR3)
+	d4, _ := Catalog(DDR4)
+	g5, _ := Catalog(GDDR5)
+	hbm, _ := Catalog(HBM)
+	if !(lp.Bandwidth < d4.Bandwidth && d4.Bandwidth < g5.Bandwidth && g5.Bandwidth < hbm.Bandwidth) {
+		t.Error("bandwidth should rise LPDDR3 < DDR4 < GDDR5 < HBM")
+	}
+	// But so does power and cost.
+	if !(lp.Power < hbm.Power && lp.Cost < hbm.Cost) {
+		t.Error("HBM should cost more power and dollars than LPDDR3")
+	}
+}
+
+func TestSubsystemAggregates(t *testing.T) {
+	s, err := NewSubsystem(LPDDR3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Device
+	if got := s.Bandwidth(); got != 6*d.Bandwidth {
+		t.Errorf("Bandwidth = %v, want %v", got, 6*d.Bandwidth)
+	}
+	if got := s.Power(); got != 6*d.Power {
+		t.Errorf("Power = %v", got)
+	}
+	if got := s.CtrlPower(); got != 6*d.CtrlPower {
+		t.Errorf("CtrlPower = %v", got)
+	}
+	if got := s.CtrlArea(); got != 6*d.CtrlArea {
+		t.Errorf("CtrlArea = %v", got)
+	}
+	if got := s.Cost(); got != 6*d.Cost {
+		t.Errorf("Cost = %v", got)
+	}
+	if got := s.SignalPins(); got != 6*d.SignalPins {
+		t.Errorf("SignalPins = %v", got)
+	}
+}
+
+func TestSubsystemErrors(t *testing.T) {
+	if _, err := NewSubsystem(LPDDR3, -1); err == nil {
+		t.Error("negative count should fail")
+	}
+	if _, err := NewSubsystem(Kind(42), 1); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestBoardDepthRows(t *testing.T) {
+	// LPDDR3 sits in rows of 3 per side: 6 devices per row-pair.
+	cases := []struct {
+		n     int
+		pairs int
+	}{
+		{0, 0}, {1, 1}, {3, 1}, {6, 1}, {7, 2}, {9, 2}, {12, 2}, {13, 3},
+	}
+	for _, c := range cases {
+		s, _ := NewSubsystem(LPDDR3, c.n)
+		d := s.Device.BoardDepth * float64(c.pairs)
+		if got := s.BoardDepth(); got != d {
+			t.Errorf("BoardDepth(%d devices) = %v, want %v (%d row pairs)", c.n, got, d, c.pairs)
+		}
+	}
+}
+
+func TestHBMNoBoardDepth(t *testing.T) {
+	s, _ := NewSubsystem(HBM, 4)
+	if got := s.BoardDepth(); got != 0 {
+		t.Errorf("HBM board depth = %v, want 0 (stacked on interposer)", got)
+	}
+}
+
+func TestBoardDepthMonotoneProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		n1, n2 := int(a%32), int(b%32)
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		s1, _ := NewSubsystem(DDR4, n1)
+		s2, _ := NewSubsystem(DDR4, n2)
+		return s1.BoardDepth() <= s2.BoardDepth()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

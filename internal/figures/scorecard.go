@@ -1,0 +1,233 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	appbitcoin "asiccloud/internal/apps/bitcoin"
+	appcnn "asiccloud/internal/apps/cnn"
+	"asiccloud/internal/nre"
+	"asiccloud/internal/tco"
+	"asiccloud/internal/thermal"
+)
+
+// expectation is one published number and the measured value that
+// reproduces it.
+type expectation struct {
+	where    string
+	metric   string
+	paper    float64
+	measured func() (float64, error)
+}
+
+// verdict grades a reproduction: MATCH within 10%, CLOSE within 35%,
+// SHAPE beyond that (ordering/trend reproduced but the absolute value
+// depends on unpublished calibration inputs).
+func verdict(paper, measured float64) string {
+	if paper == 0 {
+		return "SHAPE"
+	}
+	r := math.Abs(measured-paper) / math.Abs(paper)
+	switch {
+	case r <= 0.10:
+		return "MATCH"
+	case r <= 0.35:
+		return "CLOSE"
+	default:
+		return "SHAPE"
+	}
+}
+
+// Scorecard regenerates the headline number of every experiment and
+// grades it against the paper — the quantitative summary behind
+// EXPERIMENTS.md.
+func Scorecard() (Artifact, error) {
+	exps := []expectation{
+		{"Fig 1", "final difficulty ratio", 50e9, func() (float64, error) {
+			s, err := appbitcoin.SimulateNetwork(appbitcoin.HistoricalGenerations(),
+				appbitcoin.DefaultNetworkParams(), 6.9)
+			if err != nil {
+				return 0, err
+			}
+			return s[len(s)-1].Difficulty, nil
+		}},
+		{"Fig 1", "final hashrate (GH/s)", 575e6, func() (float64, error) {
+			s, err := appbitcoin.SimulateNetwork(appbitcoin.HistoricalGenerations(),
+				appbitcoin.DefaultNetworkParams(), 6.9)
+			if err != nil {
+				return 0, err
+			}
+			return s[len(s)-1].HashrateGH, nil
+		}},
+		{"Fig 8", "staggered over normal", 1.645, func() (float64, error) {
+			return layoutGain(thermal.LayoutStaggered, thermal.LayoutNormal)
+		}},
+		{"Fig 8", "DUCT over staggered", 1.15, func() (float64, error) {
+			return layoutGain(thermal.LayoutDuct, thermal.LayoutStaggered)
+		}},
+		{"Table 3", "energy-opt voltage (V)", 0.40, bitcoinMetric(func(r resultView) float64 {
+			return r.energyVoltage
+		})},
+		{"Table 3", "energy-opt GH/s per server", 5094, bitcoinMetric(func(r resultView) float64 {
+			return r.energyPerf
+		})},
+		{"Table 3", "energy-opt W/GH/s", 0.368, bitcoinMetric(func(r resultView) float64 {
+			return r.energyWatts
+		})},
+		{"Table 3", "energy-opt $/GH/s", 2.490, bitcoinMetric(func(r resultView) float64 {
+			return r.energyDollars
+		})},
+		{"Table 3", "TCO-opt voltage (V)", 0.49, bitcoinMetric(func(r resultView) float64 {
+			return r.tcoVoltage
+		})},
+		{"Table 3", "TCO-opt TCO/GH/s", 3.218, bitcoinMetric(func(r resultView) float64 {
+			return r.tcoTCO
+		})},
+		{"Table 3", "cost-opt voltage (V)", 0.62, bitcoinMetric(func(r resultView) float64 {
+			return r.costVoltage
+		})},
+		{"Table 3", "cost-opt $/GH/s", 0.833, bitcoinMetric(func(r resultView) float64 {
+			return r.costDollars
+		})},
+		{"§7", "stacked TCO/GH/s", 2.75, func() (float64, error) {
+			res, err := bitcoinStackedExplore()
+			if err != nil {
+				return 0, err
+			}
+			return res.TCOOptimal.TCOPerOp(), nil
+		}},
+		{"Table 4", "TCO-opt voltage (V)", 0.70, func() (float64, error) {
+			res, err := litecoinExplore()
+			if err != nil {
+				return 0, err
+			}
+			return res.TCOOptimal.Config.Voltage, nil
+		}},
+		{"Table 4", "TCO-opt W/MH/s", 2.922, func() (float64, error) {
+			res, err := litecoinExplore()
+			if err != nil {
+				return 0, err
+			}
+			return res.TCOOptimal.WattsPerOp, nil
+		}},
+		{"Table 4", "TCO-opt TCO/MH/s", 23.686, func() (float64, error) {
+			res, err := litecoinExplore()
+			if err != nil {
+				return 0, err
+			}
+			return res.TCOOptimal.TCOPerOp(), nil
+		}},
+		{"Table 5", "TCO-opt $/Kfps", 40.881, func() (float64, error) {
+			res, err := xcodeExplore()
+			if err != nil {
+				return 0, err
+			}
+			return res.TCOOptimal.DollarsPerOp, nil
+		}},
+		{"Table 5", "TCO-opt W/Kfps", 10.428, func() (float64, error) {
+			res, err := xcodeExplore()
+			if err != nil {
+				return 0, err
+			}
+			return res.TCOOptimal.WattsPerOp, nil
+		}},
+		{"Table 5", "TCO-opt TCO/Kfps", 86.971, func() (float64, error) {
+			res, err := xcodeExplore()
+			if err != nil {
+				return 0, err
+			}
+			return res.TCOOptimal.TCOPerOp(), nil
+		}},
+		{"Table 6", "TCO-opt W/TOps/s", 7.697, cnnMetric(func(e appcnn.Evaluation) float64 {
+			return e.Eval.WattsPerOp
+		})},
+		{"Table 6", "TCO-opt $/TOps/s", 10.788, cnnMetric(func(e appcnn.Evaluation) float64 {
+			return e.Eval.DollarsPerOp
+		})},
+		{"Table 6", "TCO-opt TCO/TOps/s", 42.589, cnnMetric(func(e appcnn.Evaluation) float64 {
+			return e.TCOPerOp()
+		})},
+		{"Fig 18", "breakeven speedup at ratio 2", 2.0, func() (float64, error) {
+			return nre.BreakevenSpeedup(2, 1)
+		}},
+		{"Fig 18", "breakeven speedup at ratio 10", 10.0 / 9.0, func() (float64, error) {
+			return nre.BreakevenSpeedup(10, 1)
+		}},
+	}
+
+	var rows [][]string
+	for _, e := range exps {
+		m, err := e.measured()
+		if err != nil {
+			return Artifact{}, fmt.Errorf("figures: scorecard %s %s: %w", e.where, e.metric, err)
+		}
+		rows = append(rows, []string{
+			e.where, e.metric,
+			f("%.4g", e.paper), f("%.4g", m),
+			f("%.2f", m/e.paper),
+			verdict(e.paper, m),
+		})
+	}
+	return render("scorecard", "Reproduction scorecard: paper vs measured",
+		[]string{"where", "metric", "paper", "measured", "ratio", "verdict"}, rows), nil
+}
+
+// resultView flattens the Bitcoin optima for metric extraction.
+type resultView struct {
+	energyVoltage, energyPerf, energyWatts, energyDollars float64
+	tcoVoltage, tcoTCO                                    float64
+	costVoltage, costDollars                              float64
+}
+
+func bitcoinMetric(get func(resultView) float64) func() (float64, error) {
+	return func() (float64, error) {
+		res, err := bitcoinExplore()
+		if err != nil {
+			return 0, err
+		}
+		v := resultView{
+			energyVoltage: res.EnergyOptimal.Config.Voltage,
+			energyPerf:    res.EnergyOptimal.Perf,
+			energyWatts:   res.EnergyOptimal.WattsPerOp,
+			energyDollars: res.EnergyOptimal.DollarsPerOp,
+			tcoVoltage:    res.TCOOptimal.Config.Voltage,
+			tcoTCO:        res.TCOOptimal.TCOPerOp(),
+			costVoltage:   res.CostOptimal.Config.Voltage,
+			costDollars:   res.CostOptimal.DollarsPerOp,
+		}
+		return get(v), nil
+	}
+}
+
+func cnnMetric(get func(appcnn.Evaluation) float64) func() (float64, error) {
+	return func() (float64, error) {
+		evals, err := appcnn.Explore(tco.Default())
+		if err != nil {
+			return 0, err
+		}
+		_, _, tcoOpt := appcnn.Optima(evals)
+		return get(tcoOpt), nil
+	}
+}
+
+func layoutGain(a, b thermal.Layout) (float64, error) {
+	fan := thermal.Default1UFan()
+	power := func(l thermal.Layout) (float64, error) {
+		opt := thermal.DefaultOptimizeOptions()
+		opt.Layout = l
+		r, ok := thermal.OptimizeSink(fan, 4, 100, opt)
+		if !ok {
+			return 0, fmt.Errorf("figures: layout %v failed", l)
+		}
+		return r.LanePower, nil
+	}
+	pa, err := power(a)
+	if err != nil {
+		return 0, err
+	}
+	pb, err := power(b)
+	if err != nil {
+		return 0, err
+	}
+	return pa / pb, nil
+}

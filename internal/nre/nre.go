@@ -1,0 +1,107 @@
+// Package nre answers the paper's final question — "when do we go ASIC
+// Cloud?" (paper §12) — by modeling non-recurring engineering expense
+// (masks plus development) and the two-for-two rule: "If the cost per
+// year (i.e. the TCO) for running the computation on an existing cloud
+// exceeds the NRE by 2X, and you can get at least a 2X TCO per op/s
+// improvement, then going ASIC Cloud is likely to save money."
+package nre
+
+import "fmt"
+
+// Model is the NRE cost structure of an ASIC Cloud buildout.
+type Model struct {
+	// MaskCost is the full mask-set price (~$1.5M at 28 nm, about half
+	// at 40 nm).
+	MaskCost float64
+	// DevelopmentCost covers design, verification, backend and bringup
+	// labor.
+	DevelopmentCost float64
+}
+
+// Total NRE in dollars.
+func (m Model) Total() float64 { return m.MaskCost + m.DevelopmentCost }
+
+// Default28nm is a representative 28 nm effort: $1.5M masks plus a
+// small full-custom team.
+func Default28nm() Model {
+	return Model{MaskCost: 1.5e6, DevelopmentCost: 3.5e6}
+}
+
+// Default40nm is the paper's suggested cheaper entry point: "older nodes
+// such as 40 nm are likely to provide suitable TCO per op/s reduction,
+// with half the mask cost".
+func Default40nm() Model {
+	return Model{MaskCost: 0.75e6, DevelopmentCost: 2.5e6}
+}
+
+// BreakevenSpeedup returns the minimum TCO-per-op/s improvement an ASIC
+// Cloud must deliver to pay for its NRE, given the existing cloud's TCO
+// for the computation over the comparison horizon.
+//
+// Spending existingTCO on the old cloud buys perf P at TCO/op t0. The
+// ASIC cloud must deliver the same P for existingTCO/speedup + NRE
+// dollars. Breakeven: existingTCO/speedup + NRE = existingTCO, i.e.
+// speedup = 1 / (1 - NRE/existingTCO) — the curve of the paper's
+// Figure 18 (e.g. ratio 2 → 2.0×, ratio 3 → 1.5×, ratio 10 → 1.11×).
+func BreakevenSpeedup(existingTCO, nreCost float64) (float64, error) {
+	if existingTCO <= 0 || nreCost <= 0 {
+		return 0, fmt.Errorf("nre: TCO and NRE must be positive")
+	}
+	ratio := existingTCO / nreCost
+	if ratio <= 1 {
+		return 0, fmt.Errorf("nre: TCO/NRE ratio %.2f <= 1: the NRE can never be recovered", ratio)
+	}
+	return ratio / (ratio - 1), nil
+}
+
+// WorthIt applies the two-for-two rule plus the exact breakeven test.
+type Decision struct {
+	TCONRERatio      float64 // existing TCO over NRE
+	RequiredSpeedup  float64 // breakeven TCO/op improvement
+	ProjectedSpeedup float64
+	PassesTwoForTwo  bool    // ratio >= 2 and speedup >= 2
+	PassesBreakeven  bool    // projected speedup >= required
+	ProjectedSavings float64 // dollars saved over the horizon
+}
+
+// Evaluate renders the go/no-go decision for building an ASIC Cloud.
+func Evaluate(existingTCO float64, nreCost float64, projectedSpeedup float64) (Decision, error) {
+	if projectedSpeedup <= 0 {
+		return Decision{}, fmt.Errorf("nre: projected speedup must be positive")
+	}
+	required, err := BreakevenSpeedup(existingTCO, nreCost)
+	if err != nil {
+		// Ratio <= 1: never worth it, but still report the decision.
+		if existingTCO > 0 && nreCost > 0 {
+			return Decision{
+				TCONRERatio:      existingTCO / nreCost,
+				RequiredSpeedup:  0,
+				ProjectedSpeedup: projectedSpeedup,
+			}, nil
+		}
+		return Decision{}, err
+	}
+	d := Decision{
+		TCONRERatio:      existingTCO / nreCost,
+		RequiredSpeedup:  required,
+		ProjectedSpeedup: projectedSpeedup,
+	}
+	d.PassesTwoForTwo = d.TCONRERatio >= 2 && projectedSpeedup >= 2
+	d.PassesBreakeven = projectedSpeedup >= required
+	d.ProjectedSavings = existingTCO - (existingTCO/projectedSpeedup + nreCost)
+	return d, nil
+}
+
+// BreakevenCurve samples the Figure 18 curve: required TCO improvement
+// versus TCO/NRE ratio.
+func BreakevenCurve(ratios []float64) ([]float64, error) {
+	out := make([]float64, len(ratios))
+	for i, r := range ratios {
+		s, err := BreakevenSpeedup(r, 1)
+		if err != nil {
+			return nil, fmt.Errorf("nre: ratio %v: %w", r, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package nre
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBreakevenMatchesFigure18(t *testing.T) {
+	// Paper Figure 18 annotates the curve with these (ratio, required
+	// improvement) pairs.
+	cases := []struct{ ratio, want float64 }{
+		{1.1, 11}, {1.2, 6}, {1.5, 3}, {2, 2}, {3, 1.5},
+		{4, 4.0 / 3.0}, {5, 1.25}, {6, 1.2}, {10, 10.0 / 9.0},
+	}
+	for _, c := range cases {
+		got, err := BreakevenSpeedup(c.ratio, 1)
+		if err != nil {
+			t.Fatalf("ratio %v: %v", c.ratio, err)
+		}
+		if math.Abs(got-c.want)/c.want > 0.01 {
+			t.Errorf("breakeven(%v) = %.3f, want %.3f", c.ratio, got, c.want)
+		}
+	}
+}
+
+func TestBreakevenDecreasing(t *testing.T) {
+	// "As the TCO exceeds the NRE by more and more, the required speedup
+	// to breakeven declines."
+	prev := math.Inf(1)
+	for r := 1.1; r <= 10; r += 0.1 {
+		s, err := BreakevenSpeedup(r, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s >= prev {
+			t.Fatalf("breakeven not decreasing at ratio %v", r)
+		}
+		prev = s
+	}
+}
+
+func TestBreakevenErrors(t *testing.T) {
+	if _, err := BreakevenSpeedup(0, 1); err == nil {
+		t.Error("zero TCO should fail")
+	}
+	if _, err := BreakevenSpeedup(1, -1); err == nil {
+		t.Error("negative NRE should fail")
+	}
+	if _, err := BreakevenSpeedup(0.5, 1); err == nil {
+		t.Error("ratio below 1 can never break even")
+	}
+}
+
+func TestTwoForTwoRule(t *testing.T) {
+	// TCO = 2×NRE and speedup 2: the canonical pass.
+	d, err := Evaluate(10e6, 5e6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.PassesTwoForTwo {
+		t.Error("2x TCO/NRE with 2x speedup should pass the two-for-two rule")
+	}
+	if !d.PassesBreakeven {
+		t.Error("2x speedup at ratio 2 exactly breaks even")
+	}
+	if d.ProjectedSavings < 0 {
+		t.Errorf("savings = %v, want >= 0", d.ProjectedSavings)
+	}
+	// High speedup but tiny computation: fails.
+	d, err = Evaluate(1e6, 5e6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PassesTwoForTwo || d.PassesBreakeven {
+		t.Error("TCO below NRE should never justify an ASIC cloud")
+	}
+}
+
+func TestAlmostAnyAcceleratorQualifiesAtScale(t *testing.T) {
+	// "Almost any accelerator proposed in the literature, no matter how
+	// modest the speedup, is a candidate for ASIC Cloud, depending on
+	// the scale of the computation": a 1.2x speedup pays off at ratio 6+.
+	d, err := Evaluate(30e6, 5e6, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.PassesBreakeven {
+		t.Error("1.2x speedup at TCO/NRE = 6 should break even")
+	}
+}
+
+func TestEvaluateSavingsProperty(t *testing.T) {
+	// Savings are positive exactly when the projected speedup beats the
+	// breakeven requirement.
+	f := func(a, b uint16) bool {
+		tcoUSD := 1e6 * (1 + float64(a%100))
+		speedup := 1 + float64(b%50)/10
+		d, err := Evaluate(tcoUSD, 5e6, speedup)
+		if err != nil {
+			return false
+		}
+		if d.RequiredSpeedup == 0 {
+			return d.ProjectedSavings <= 0
+		}
+		return (d.ProjectedSavings >= -1e-6) == d.PassesBreakeven ||
+			math.Abs(d.ProjectedSavings) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(1e6, 1e6, 0); err == nil {
+		t.Error("zero speedup should fail")
+	}
+	if _, err := Evaluate(0, 0, 2); err == nil {
+		t.Error("zero TCO and NRE should fail")
+	}
+}
+
+func TestNodeNREs(t *testing.T) {
+	// "With half the mask cost" at 40nm.
+	if Default40nm().MaskCost*2 != Default28nm().MaskCost {
+		t.Error("40nm masks should cost half of 28nm")
+	}
+	if Default28nm().Total() <= Default28nm().MaskCost {
+		t.Error("total NRE must include development cost")
+	}
+}
+
+func TestBreakevenCurve(t *testing.T) {
+	curve, err := BreakevenCurve([]float64{2, 4, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 4.0 / 3.0, 10.0 / 9.0}
+	for i := range want {
+		if math.Abs(curve[i]-want[i]) > 1e-9 {
+			t.Errorf("curve[%d] = %v, want %v", i, curve[i], want[i])
+		}
+	}
+	if _, err := BreakevenCurve([]float64{0.5}); err == nil {
+		t.Error("sub-1 ratio in curve should fail")
+	}
+}

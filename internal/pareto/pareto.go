@@ -1,0 +1,74 @@
+// Package pareto provides generic Pareto-dominance utilities over
+// two-objective minimization problems — in the ASIC Cloud flow the two
+// objectives are hardware cost per op/s ($ per op/s) and energy per op
+// (W per op/s), and "designs can be evaluated according to these metrics,
+// and mapped into a Pareto space that trades cost and energy efficiency".
+package pareto
+
+import "sort"
+
+// Dominates reports whether point a = (ax, ay) dominates b = (bx, by)
+// under minimization of both coordinates: a is no worse in both and
+// strictly better in at least one.
+func Dominates(ax, ay, bx, by float64) bool {
+	if ax > bx || ay > by {
+		return false
+	}
+	return ax < bx || ay < by
+}
+
+// Frontier returns the indices of the Pareto-optimal elements of pts
+// under minimization of both objective functions, sorted by ascending x.
+// Ties on both coordinates keep the first-seen element only.
+func Frontier[T any](pts []T, x, y func(T) float64) []int {
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		xa, xb := x(pts[idx[a]]), x(pts[idx[b]])
+		if xa != xb {
+			return xa < xb
+		}
+		return y(pts[idx[a]]) < y(pts[idx[b]])
+	})
+	var out []int
+	bestY := 0.0
+	first := true
+	for _, i := range idx {
+		yi := y(pts[i])
+		if first || yi < bestY {
+			// Skip exact duplicates of the previous frontier point.
+			if !first && x(pts[i]) == x(pts[out[len(out)-1]]) && yi == bestY {
+				continue
+			}
+			out = append(out, i)
+			bestY = yi
+			first = false
+		}
+	}
+	return out
+}
+
+// Select returns the elements of pts at the given indices.
+func Select[T any](pts []T, idx []int) []T {
+	out := make([]T, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, pts[i])
+	}
+	return out
+}
+
+// ArgMin returns the index of the element minimizing f, or -1 for an
+// empty slice.
+func ArgMin[T any](pts []T, f func(T) float64) int {
+	best := -1
+	var bestV float64
+	for i := range pts {
+		v := f(pts[i])
+		if best < 0 || v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

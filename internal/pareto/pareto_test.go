@@ -1,0 +1,141 @@
+package pareto
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+type pt struct{ x, y float64 }
+
+func xs(p pt) float64 { return p.x }
+func ys(p pt) float64 { return p.y }
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		ax, ay, bx, by float64
+		want           bool
+	}{
+		{1, 1, 2, 2, true},
+		{1, 2, 2, 1, false},
+		{2, 1, 1, 2, false},
+		{1, 1, 1, 1, false}, // equal: no strict improvement
+		{1, 1, 1, 2, true},
+		{1, 1, 2, 1, true},
+		{2, 2, 1, 1, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.ax, c.ay, c.bx, c.by); got != c.want {
+			t.Errorf("Dominates(%v,%v,%v,%v) = %v, want %v", c.ax, c.ay, c.bx, c.by, got, c.want)
+		}
+	}
+}
+
+func TestFrontierSimple(t *testing.T) {
+	pts := []pt{
+		{1, 10}, // frontier
+		{2, 5},  // frontier
+		{3, 7},  // dominated by (2,5)
+		{4, 1},  // frontier
+		{5, 2},  // dominated by (4,1)
+	}
+	idx := Frontier(pts, xs, ys)
+	want := []int{0, 1, 3}
+	if len(idx) != len(want) {
+		t.Fatalf("frontier = %v, want %v", idx, want)
+	}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("frontier = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestFrontierEmpty(t *testing.T) {
+	if got := Frontier(nil, xs, ys); len(got) != 0 {
+		t.Errorf("empty frontier = %v", got)
+	}
+}
+
+func TestFrontierSinglePoint(t *testing.T) {
+	idx := Frontier([]pt{{3, 4}}, xs, ys)
+	if len(idx) != 1 || idx[0] != 0 {
+		t.Errorf("single-point frontier = %v", idx)
+	}
+}
+
+func TestFrontierDropsDuplicates(t *testing.T) {
+	pts := []pt{{1, 1}, {1, 1}, {2, 0.5}}
+	idx := Frontier(pts, xs, ys)
+	if len(idx) != 2 {
+		t.Errorf("frontier with duplicates = %v, want 2 points", idx)
+	}
+}
+
+func TestFrontierProperties(t *testing.T) {
+	// Property: no frontier point dominates another; every non-frontier
+	// point is dominated by some frontier point.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		pts := make([]pt, n)
+		for i := range pts {
+			pts[i] = pt{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		idx := Frontier(pts, xs, ys)
+		on := map[int]bool{}
+		for _, i := range idx {
+			on[i] = true
+		}
+		for _, i := range idx {
+			for _, j := range idx {
+				if i != j && Dominates(pts[i].x, pts[i].y, pts[j].x, pts[j].y) {
+					return false
+				}
+			}
+		}
+		for k := range pts {
+			if on[k] {
+				continue
+			}
+			dominated := false
+			for _, i := range idx {
+				if Dominates(pts[i].x, pts[i].y, pts[k].x, pts[k].y) ||
+					(pts[i].x == pts[k].x && pts[i].y == pts[k].y) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		// Frontier is sorted by ascending x with strictly descending y.
+		if !sort.SliceIsSorted(idx, func(a, b int) bool { return pts[idx[a]].x < pts[idx[b]].x }) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	pts := []pt{{1, 1}, {2, 2}, {3, 3}}
+	got := Select(pts, []int{2, 0})
+	if len(got) != 2 || got[0].x != 3 || got[1].x != 1 {
+		t.Errorf("Select = %v", got)
+	}
+}
+
+func TestArgMin(t *testing.T) {
+	pts := []pt{{5, 0}, {2, 0}, {9, 0}}
+	if got := ArgMin(pts, xs); got != 1 {
+		t.Errorf("ArgMin = %d, want 1", got)
+	}
+	if got := ArgMin(nil, xs); got != -1 {
+		t.Errorf("ArgMin(empty) = %d, want -1", got)
+	}
+}

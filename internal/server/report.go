@@ -1,0 +1,75 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report renders a full datasheet for an evaluated server — the level of
+// detail a Bitcoin miner vendor quotes for its products, which the paper
+// notes are exactly the two metrics this model optimizes ("In Bitcoin
+// Server sales, the primary statistics that are quoted for mining
+// products are in fact the exact ones given in this paper: $ per GH/s
+// and W per GH/s").
+func (e Evaluation) Report() string {
+	cfg := e.Config
+	unit := cfg.RCA.PerfUnit
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	w("=== ASIC Cloud server: %s ===", cfg.RCA.Name)
+	w("organization     %d lanes × %d chips, %d RCAs per chip (%d total)",
+		cfg.Lanes, cfg.ChipsPerLane, cfg.RCAsPerChip, e.TotalRCAs)
+	w("die              %.1f mm² in %s", e.DieArea, cfg.Process.Name)
+	w("operating point  %.2f V, %.0f MHz (utilization %.0f%%)",
+		cfg.Voltage, e.Freq/1e6, 100*e.Utilization)
+	cooling := fmt.Sprintf("forced air, %s layout, %.0f mm sink depth, %d fins",
+		cfg.Layout, e.Sink.Depth*1e3, e.Sink.FinCount())
+	if cfg.Immersion {
+		cooling = "two-phase immersion"
+	}
+	w("cooling          %s", cooling)
+	w("thermal          %.1f W per chip of %.1f W capacity (lane cap %.0f W)",
+		e.ChipHeat, e.LanePowerCap/float64(cfg.ChipsPerLane), e.LanePowerCap)
+	delivery := fmt.Sprintf("%d DC/DC phases, %.0f A", e.Delivery.DCDCUnits, e.Delivery.DCDCAmps)
+	if cfg.Stacked {
+		delivery = "voltage stacked (no DC/DC converters)"
+	}
+	w("power delivery   %s; wall %.0f W at %.1f%% end-to-end",
+		delivery, e.WallPower, 100*e.Delivery.Efficiency)
+	gridNote := ""
+	if !e.GridOK {
+		gridNote = " (EXCEEDS grid: shrink bump pitch)"
+	}
+	w("power grid       %.1f%% top metal for the IR-drop budget%s",
+		100*e.GridMetalFraction, gridNote)
+	if cfg.DRAM.PerASIC > 0 {
+		w("memory           %d × %s per ASIC (%.1f GB/s per ASIC)",
+			cfg.DRAM.PerASIC, cfg.DRAM.Device.Kind, cfg.DRAM.Bandwidth())
+	}
+	w("performance      %.1f %s per server", e.Perf, unit)
+	w("")
+	w("bill of materials")
+	bomLine := func(name string, v float64) {
+		if v <= 0 {
+			return
+		}
+		w("  %-14s $%8.0f  (%4.1f%%)", name, v, 100*v/e.Cost())
+	}
+	bomLine("silicon", e.BOM.Silicon)
+	bomLine("packages", e.BOM.Packages)
+	bomLine("DC/DC", e.BOM.DCDC)
+	bomLine("PSU", e.BOM.PSU)
+	bomLine("heat sinks", e.BOM.HeatSinks)
+	bomLine("fans", e.BOM.Fans)
+	bomLine("DRAM", e.BOM.DRAM)
+	bomLine("PCB", e.BOM.PCB)
+	bomLine("network", e.BOM.Network)
+	bomLine("other", e.BOM.Other)
+	w("  %-14s $%8.0f", "total", e.Cost())
+	w("")
+	w("headline metrics")
+	w("  $ per %-10s %.4g", unit, e.DollarsPerOp)
+	w("  W per %-10s %.4g", unit, e.WattsPerOp)
+	return b.String()
+}

@@ -1,0 +1,483 @@
+package server
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"asiccloud/internal/dram"
+	"asiccloud/internal/interconnect"
+	"asiccloud/internal/vlsi"
+)
+
+// bitcoinRCA mirrors the paper's published Bitcoin RCA.
+func bitcoinRCA() vlsi.Spec {
+	return vlsi.Spec{
+		Name:                "bitcoin",
+		PerfUnit:            "GH/s",
+		Area:                0.66,
+		NominalVoltage:      1.0,
+		NominalFreq:         830e6,
+		NominalPerf:         0.83,
+		NominalPowerDensity: 2.0,
+		LeakageFraction:     0.008,
+		VoltageScalable:     true,
+	}
+}
+
+// costOptimalBitcoin is the paper's Table 3 cost-optimal column: 0.62 V,
+// 5 chips per lane, 106 mm² dies (160 RCAs).
+func costOptimalBitcoin() Config {
+	cfg := Default(bitcoinRCA())
+	cfg.Voltage = 0.62
+	cfg.ChipsPerLane = 5
+	cfg.RCAsPerChip = 160
+	return cfg
+}
+
+func TestEvaluateCostOptimalBitcoin(t *testing.T) {
+	ev, err := Evaluate(costOptimalBitcoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 3: 2,983 GH/s, 2,351 W, $2,484, $0.833/GH/s,
+	// 0.788 W/GH/s. We require the reproduction within 20%.
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"perf", ev.Perf, 2983},
+		{"wall power", ev.WallPower, 2351},
+		{"cost", ev.Cost(), 2484},
+		{"$/GH/s", ev.DollarsPerOp, 0.833},
+		{"W/GH/s", ev.WattsPerOp, 0.788},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want)/c.want > 0.20 {
+			t.Errorf("%s = %.1f, want %.1f ±20%% (paper Table 3)", c.name, c.got, c.want)
+		}
+	}
+	if !ev.ThermalOK {
+		t.Error("paper's cost-optimal design should be coolable")
+	}
+	if ev.Chips != 40 {
+		t.Errorf("chips = %d, want 40", ev.Chips)
+	}
+	if math.Abs(ev.DieArea-105.6) > 1 {
+		t.Errorf("die area = %.1f, want ~105.6 mm²", ev.DieArea)
+	}
+}
+
+func TestEvaluateEnergyOptimalBitcoin(t *testing.T) {
+	// Table 3 energy-optimal: 0.40 V, 10 chips/lane, 600 mm² dies
+	// (909 RCAs), 5,094 GH/s, 0.368 W/GH/s.
+	cfg := Default(bitcoinRCA())
+	cfg.Voltage = 0.40
+	cfg.ChipsPerLane = 10
+	cfg.RCAsPerChip = 908 // ~599.9 mm² including network endpoint
+	ev, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev.Perf-5094)/5094 > 0.20 {
+		t.Errorf("perf = %.0f GH/s, want ~5094", ev.Perf)
+	}
+	if math.Abs(ev.WattsPerOp-0.368)/0.368 > 0.25 {
+		t.Errorf("W/GH/s = %.3f, want ~0.368", ev.WattsPerOp)
+	}
+	// Energy-optimal servers are silicon-dominated (Figure 13).
+	if ev.BOM.Silicon < 0.5*ev.Cost() {
+		t.Errorf("silicon $%.0f should dominate cost $%.0f", ev.BOM.Silicon, ev.Cost())
+	}
+}
+
+func TestVoltageTradeoff(t *testing.T) {
+	// Across the same geometry, lower voltage must improve W/op and
+	// degrade $/op (the Pareto tradeoff of Figure 12).
+	cfg := costOptimalBitcoin()
+	cfg.RCAsPerChip = 80
+	lo := cfg
+	lo.Voltage = 0.45
+	hi := cfg
+	hi.Voltage = 0.62
+	evLo, err := Evaluate(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evHi, err := Evaluate(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evLo.WattsPerOp >= evHi.WattsPerOp {
+		t.Errorf("lower voltage should be more energy efficient: %v vs %v",
+			evLo.WattsPerOp, evHi.WattsPerOp)
+	}
+	if evLo.DollarsPerOp <= evHi.DollarsPerOp {
+		t.Errorf("lower voltage should cost more per op/s: %v vs %v",
+			evLo.DollarsPerOp, evHi.DollarsPerOp)
+	}
+}
+
+func TestThermalInfeasibleHighVoltage(t *testing.T) {
+	// Max-size dies at full voltage: 2 W/mm² on 600 mm² is 1200 W per
+	// chip — far beyond any air cooling.
+	cfg := Default(bitcoinRCA())
+	cfg.Voltage = 1.0
+	cfg.ChipsPerLane = 10
+	cfg.RCAsPerChip = 900
+	_, err := Evaluate(cfg)
+	if !errors.Is(err, ErrThermal) {
+		t.Errorf("expected ErrThermal, got %v", err)
+	}
+}
+
+func TestGeometryInfeasible(t *testing.T) {
+	cfg := Default(bitcoinRCA())
+	cfg.RCAsPerChip = 1000 // 660 mm² > 600 mm² limit
+	if _, err := Evaluate(cfg); !errors.Is(err, ErrGeometry) {
+		t.Errorf("expected ErrGeometry for oversized die, got %v", err)
+	}
+	cfg = Default(bitcoinRCA())
+	cfg.ChipsPerLane = 200 // cannot fit the lane
+	if _, err := Evaluate(cfg); !errors.Is(err, ErrGeometry) {
+		t.Errorf("expected ErrGeometry for overstuffed lane, got %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cfg := Default(bitcoinRCA())
+	cfg.Lanes = 0
+	if _, err := Evaluate(cfg); err == nil {
+		t.Error("zero lanes should fail")
+	}
+	cfg = Default(bitcoinRCA())
+	cfg.Voltage = -1
+	if _, err := Evaluate(cfg); err == nil {
+		t.Error("negative voltage should fail")
+	}
+	cfg = Default(bitcoinRCA())
+	cfg.RCA.Area = 0
+	if _, err := Evaluate(cfg); err == nil {
+		t.Error("invalid RCA should fail")
+	}
+}
+
+func TestDRAMBandwidthCap(t *testing.T) {
+	cfg := Default(bitcoinRCA())
+	cfg.Voltage = 0.62
+	cfg.ChipsPerLane = 5
+	cfg.RCAsPerChip = 100
+	sub, err := dram.NewSubsystem(dram.LPDDR3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DRAM = sub
+	cfg.PerfPerDRAM = 5 // caps each chip at 15 GH/s-equivalent
+	ev, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ev.Perf / float64(ev.Chips); math.Abs(got-15) > 1e-9 {
+		t.Errorf("per-chip perf = %v, want capped at 15", got)
+	}
+	if ev.Utilization >= 1 {
+		t.Errorf("utilization = %v, want < 1 when DRAM binds", ev.Utilization)
+	}
+	// The cap must also cut dynamic power versus the uncapped design.
+	uncapped := cfg
+	uncapped.PerfPerDRAM = 0
+	evU, err := Evaluate(uncapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.WallPower >= evU.WallPower {
+		t.Errorf("DRAM-capped power %v should be below uncapped %v", ev.WallPower, evU.WallPower)
+	}
+	if ev.BOM.DRAM <= 0 {
+		t.Error("DRAM BOM line should be positive")
+	}
+	// DRAM designs pay for fancier PCBs.
+	if ev.BOM.PCB <= evU.BOM.PCB*0.99 {
+		t.Error("DRAM PCB premium missing")
+	}
+}
+
+func TestVoltageStackingSavesConverters(t *testing.T) {
+	base := costOptimalBitcoin()
+	base.Voltage = 0.48
+	stacked := base
+	stacked.Stacked = true
+	evBase, err := Evaluate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evStack, err := Evaluate(stacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evStack.BOM.DCDC >= evBase.BOM.DCDC {
+		t.Errorf("stacking DCDC cost $%.0f should beat converters $%.0f",
+			evStack.BOM.DCDC, evBase.BOM.DCDC)
+	}
+	if evStack.WattsPerOp >= evBase.WattsPerOp {
+		t.Errorf("stacking W/op %v should beat converters %v",
+			evStack.WattsPerOp, evBase.WattsPerOp)
+	}
+}
+
+func TestFixedOverheadsDoNotScale(t *testing.T) {
+	// HyperTransport-style fixed power stays constant across voltage.
+	cfg := Default(bitcoinRCA())
+	cfg.ChipsPerLane = 2
+	cfg.RCAsPerChip = 50
+	cfg.ExtraFixedPowerPerChip = 10
+	cfg.ExtraAreaPerChip = 20
+	lo := cfg
+	lo.Voltage = 0.45
+	hi := cfg
+	hi.Voltage = 0.62
+	evLo, err1 := Evaluate(lo)
+	evHi, err2 := Evaluate(hi)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	// Chip heat difference should be the RCA power difference only;
+	// both include the same +10 W fixed.
+	if evLo.ChipHeat >= evHi.ChipHeat {
+		t.Error("lower voltage should still reduce chip heat")
+	}
+	if evLo.ChipHeat < 10 || evHi.ChipHeat < 10 {
+		t.Error("fixed 10 W per chip must be included in heat")
+	}
+	if evLo.DieArea <= 50*0.66+1 {
+		t.Error("extra area per chip must be included in die area")
+	}
+}
+
+func TestCustomNetwork(t *testing.T) {
+	cfg := costOptimalBitcoin()
+	net := interconnect.Network{
+		OnPCB:      interconnect.HyperTransport,
+		OnPCBLinks: 40,
+		OffPCB:     interconnect.GigE10,
+		OffLinks:   2,
+		Control:    interconnect.ControlFPGA,
+	}
+	cfg.Network = &net
+	ev, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Evaluate(costOptimalBitcoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.BOM.Network <= plain.BOM.Network {
+		t.Error("HyperTransport + FPGA network should cost more than SPI + uC")
+	}
+	if ev.DieArea <= plain.DieArea {
+		t.Error("HyperTransport endpoints should add die area")
+	}
+}
+
+func TestEvaluationAccounting(t *testing.T) {
+	ev, err := Evaluate(costOptimalBitcoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BOM total equals the sum of its parts.
+	b := ev.BOM
+	sum := b.Silicon + b.Packages + b.DCDC + b.PSU + b.HeatSinks + b.Fans +
+		b.DRAM + b.PCB + b.Network + b.Other
+	if math.Abs(sum-b.Total()) > 1e-9 {
+		t.Error("BOM total mismatch")
+	}
+	// Metric identities.
+	if math.Abs(ev.DollarsPerOp-ev.Cost()/ev.Perf) > 1e-12 {
+		t.Error("$/op identity broken")
+	}
+	if math.Abs(ev.WattsPerOp-ev.WallPower/ev.Perf) > 1e-12 {
+		t.Error("W/op identity broken")
+	}
+	// Wall power covers silicon power with the two 90% stages.
+	if ev.WallPower <= ev.SiliconWatts/(0.9*0.9) {
+		t.Error("wall power should exceed silicon power over the delivery chain")
+	}
+}
+
+func TestThermalPlanReuse(t *testing.T) {
+	cfg := costOptimalBitcoin()
+	plan, err := ThermalPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev1, err := EvaluateWithPlan(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev1.Cost() != ev2.Cost() || ev1.Perf != ev2.Perf || ev1.WallPower != ev2.WallPower {
+		t.Error("EvaluateWithPlan should match Evaluate for the same geometry")
+	}
+}
+
+func TestOffPCBLinkProvisioning(t *testing.T) {
+	cfg := costOptimalBitcoin()
+	net := interconnect.Network{
+		OnPCB:      interconnect.SPI,
+		OnPCBLinks: 40,
+		OffPCB:     interconnect.GigE10,
+		OffLinks:   1,
+		Control:    interconnect.Microcontroller,
+	}
+	cfg.Network = &net
+	base, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Declare a bandwidth demand: 1 MB/s per GH/s. At ~3000 GH/s the
+	// server needs ~3 GB/s, i.e. three 10-GigE links instead of one.
+	cfg.OffPCBBytesPerOp = 0.001
+	sized, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sized.BOM.Network <= base.BOM.Network {
+		t.Errorf("bandwidth-sized network ($%.0f) should cost more than the single-link plan ($%.0f)",
+			sized.BOM.Network, base.BOM.Network)
+	}
+	if sized.WallPower <= base.WallPower {
+		t.Error("extra off-PCB PHYs should draw extra power")
+	}
+	// Tiny demand still keeps at least one link.
+	cfg.OffPCBBytesPerOp = 1e-12
+	one, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.BOM.Network != base.BOM.Network {
+		t.Error("negligible demand should provision exactly one link")
+	}
+}
+
+func TestImmersionCooling(t *testing.T) {
+	// Air-cooled, 2 W/mm² Bitcoin silicon at 0.7 V is thermally
+	// infeasible; immersion's boiling flux limit admits it.
+	cfg := Default(bitcoinRCA())
+	cfg.Voltage = 0.70
+	cfg.ChipsPerLane = 10
+	cfg.RCAsPerChip = 300
+	if _, err := Evaluate(cfg); !errors.Is(err, ErrThermal) {
+		t.Fatalf("air cooling at 0.70 V should be thermally infeasible, got %v", err)
+	}
+	cfg.Immersion = true
+	ev, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.ThermalOK {
+		t.Error("immersion should cool this design")
+	}
+	if ev.BOM.Fans != 0 || ev.BOM.HeatSinks != 0 {
+		t.Error("immersion removes fans and heat sinks from the BOM")
+	}
+	if ev.BOM.Other <= otherCost {
+		t.Error("immersion tank cost missing from Other")
+	}
+	// Boiling flux still limits the hottest designs: full voltage on
+	// max dies exceeds even the CHF.
+	cfg.Voltage = 1.0
+	cfg.RCAsPerChip = 900
+	if _, err := Evaluate(cfg); !errors.Is(err, ErrThermal) {
+		t.Errorf("2 W/mm² at 600 mm² exceeds the boiling CHF, got %v", err)
+	}
+	// Immersed packages still need board space.
+	cfg.Voltage = 0.55
+	cfg.RCAsPerChip = 50
+	cfg.ChipsPerLane = 30
+	if _, err := Evaluate(cfg); !errors.Is(err, ErrGeometry) {
+		t.Errorf("30 immersed chips should not fit a lane, got %v", err)
+	}
+}
+
+func TestImmersionRemovesFanPower(t *testing.T) {
+	air := costOptimalBitcoin()
+	wet := air
+	wet.Immersion = true
+	evAir, err := Evaluate(air)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evWet, err := Evaluate(wet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evWet.WallPower >= evAir.WallPower {
+		t.Errorf("immersion wall power %v should drop below air %v (no fans)",
+			evWet.WallPower, evAir.WallPower)
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	ev, err := Evaluate(costOptimalBitcoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ev.Report()
+	for _, want := range []string{
+		"ASIC Cloud server", "bill of materials", "silicon", "DC/DC",
+		"GH/s", "lanes", "UMC 28nm", "headline metrics", "forced air",
+	} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+	// Immersion and stacking variants change the narrative lines.
+	cfg := costOptimalBitcoin()
+	cfg.Voltage = 0.48
+	cfg.Immersion = true
+	cfg.Stacked = true
+	ev2, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := ev2.Report()
+	if !strings.Contains(r2, "two-phase immersion") || !strings.Contains(r2, "voltage stacked") {
+		t.Errorf("variant report wrong:\n%s", r2)
+	}
+}
+
+func TestPowerGridSizing(t *testing.T) {
+	// Higher voltage on the same geometry draws denser current and
+	// needs more grid metal per volt of budget at a fixed density —
+	// here the dominant effect is power density rising with V², so the
+	// high-voltage point must demand at least as much metal.
+	cfg := costOptimalBitcoin()
+	cfg.RCAsPerChip = 80
+	lo := cfg
+	lo.Voltage = 0.45
+	hi := cfg
+	hi.Voltage = 0.62
+	evLo, err1 := Evaluate(lo)
+	evHi, err2 := Evaluate(hi)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !evLo.GridOK || !evHi.GridOK {
+		t.Error("both operating points should fit a buildable grid")
+	}
+	if evLo.GridMetalFraction <= 0 || evHi.GridMetalFraction <= 0 {
+		t.Error("grid metal fractions should be positive")
+	}
+	if evHi.GridMetalFraction < evLo.GridMetalFraction {
+		t.Errorf("0.62 V point (%.3f) should need at least the metal of 0.45 V (%.3f)",
+			evHi.GridMetalFraction, evLo.GridMetalFraction)
+	}
+	if !strings.Contains(evHi.Report(), "power grid") {
+		t.Error("report should include the grid line")
+	}
+}

@@ -1,0 +1,183 @@
+package studies
+
+import (
+	"testing"
+
+	"asiccloud/internal/thermal"
+)
+
+func TestEnergyPriceStudy(t *testing.T) {
+	pts, err := EnergyPriceStudy([]float64{0.02, 0.06, 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Expensive energy must push the optimal voltage down (toward the
+	// energy-efficient near-threshold corner) and never up.
+	if pts[2].OptimalVoltage > pts[0].OptimalVoltage {
+		t.Errorf("$0.15/kWh voltage (%v) should not exceed $0.02/kWh voltage (%v)",
+			pts[2].OptimalVoltage, pts[0].OptimalVoltage)
+	}
+	// And the chosen designs should be more energy efficient.
+	if pts[2].WattsPerOp > pts[0].WattsPerOp {
+		t.Errorf("expensive energy should select lower W/op: %v vs %v",
+			pts[2].WattsPerOp, pts[0].WattsPerOp)
+	}
+	// TCO itself rises with the energy price.
+	if !(pts[0].TCOPerOp < pts[1].TCOPerOp && pts[1].TCOPerOp < pts[2].TCOPerOp) {
+		t.Errorf("TCO should rise with energy price: %v", pts)
+	}
+	if _, err := EnergyPriceStudy(nil); err == nil {
+		t.Error("empty price list should fail")
+	}
+	if _, err := EnergyPriceStudy([]float64{-1}); err == nil {
+		t.Error("negative price should fail")
+	}
+}
+
+func TestLifetimeStudy(t *testing.T) {
+	pts, err := LifetimeStudy([]float64{1.0, 1.5, 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longer amortization accumulates more electricity: the optimum
+	// moves toward energy efficiency.
+	if pts[2].WattsPerOp > pts[0].WattsPerOp {
+		t.Errorf("3-year W/op (%v) should not exceed 1-year (%v)",
+			pts[2].WattsPerOp, pts[0].WattsPerOp)
+	}
+	if pts[2].OptimalVoltage > pts[0].OptimalVoltage {
+		t.Errorf("3-year voltage (%v) should not exceed 1-year (%v)",
+			pts[2].OptimalVoltage, pts[0].OptimalVoltage)
+	}
+	// Total TCO grows with the horizon.
+	if pts[2].TCOPerOp <= pts[0].TCOPerOp {
+		t.Error("longer horizon should accumulate more TCO")
+	}
+	if _, err := LifetimeStudy([]float64{0}); err == nil {
+		t.Error("zero lifetime should fail")
+	}
+	if _, err := LifetimeStudy(nil); err == nil {
+		t.Error("empty lifetime list should fail")
+	}
+}
+
+func TestLayoutStudy(t *testing.T) {
+	pts, err := LayoutStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d layouts", len(pts))
+	}
+	byLayout := map[thermal.Layout]LayoutPoint{}
+	for _, p := range pts {
+		byLayout[p.Layout] = p
+	}
+	// The paper adopts DUCT because it cools best; end-to-end that must
+	// show up as the lowest (or tied) TCO per op.
+	if byLayout[thermal.LayoutDuct].TCOPerOp > byLayout[thermal.LayoutNormal].TCOPerOp {
+		t.Errorf("DUCT TCO (%v) should beat Normal (%v)",
+			byLayout[thermal.LayoutDuct].TCOPerOp, byLayout[thermal.LayoutNormal].TCOPerOp)
+	}
+	if byLayout[thermal.LayoutDuct].TCOPerOp > byLayout[thermal.LayoutStaggered].TCOPerOp {
+		t.Errorf("DUCT TCO (%v) should beat Staggered (%v)",
+			byLayout[thermal.LayoutDuct].TCOPerOp, byLayout[thermal.LayoutStaggered].TCOPerOp)
+	}
+}
+
+func TestCoolingStudy(t *testing.T) {
+	pts, err := CoolingStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d cooling options", len(pts))
+	}
+	air, wet := pts[0], pts[1]
+	// Immersion removes the fan/heat-sink chain and its power; with the
+	// same silicon it should not lose on TCO.
+	if wet.TCOPerOp > air.TCOPerOp {
+		t.Errorf("immersion TCO (%v) should not exceed forced air (%v)",
+			wet.TCOPerOp, air.TCOPerOp)
+	}
+}
+
+func TestNodeStudy(t *testing.T) {
+	pts, err := NodeStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d nodes", len(pts))
+	}
+	n28, n40 := pts[0], pts[1]
+	// §12: half the mask cost at 40nm...
+	if n40.MaskCost*2 != n28.MaskCost {
+		t.Errorf("40nm masks should cost half: %v vs %v", n40.MaskCost, n28.MaskCost)
+	}
+	// ...and "only a small difference in performance and energy
+	// efficiency": the 40nm cloud's TCO/op lands within 2x of 28nm.
+	ratio := n40.TCOPerOp / n28.TCOPerOp
+	if ratio < 1.0 || ratio > 2.0 {
+		t.Errorf("40nm/28nm TCO ratio = %v, want a modest penalty in (1, 2]", ratio)
+	}
+	// The cheaper NRE lowers the scale at which the ASIC cloud pays off.
+	if n40.BreakevenTCO >= n28.BreakevenTCO {
+		t.Error("40nm should break even at smaller computations")
+	}
+}
+
+func TestWaferPriceStudy(t *testing.T) {
+	pts, err := WaferPriceStudy([]float64{2000, 3700, 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hardware $/op rises with the wafer price...
+	if !(pts[0].DollarsPerOp < pts[2].DollarsPerOp) {
+		t.Errorf("$/op should rise with wafer cost: %v", pts)
+	}
+	// ...and so does total TCO.
+	if !(pts[0].TCOPerOp < pts[1].TCOPerOp && pts[1].TCOPerOp < pts[2].TCOPerOp) {
+		t.Errorf("TCO should rise with wafer cost: %v", pts)
+	}
+	// Expensive silicon is sweated harder: voltage does not decrease.
+	if pts[2].OptimalVoltage < pts[0].OptimalVoltage {
+		t.Errorf("expensive wafers should not lower the optimal voltage: %v", pts)
+	}
+	if _, err := WaferPriceStudy(nil); err == nil {
+		t.Error("empty list should fail")
+	}
+	if _, err := WaferPriceStudy([]float64{0}); err == nil {
+		t.Error("zero wafer price should fail")
+	}
+}
+
+func TestSiteStudy(t *testing.T) {
+	pts, err := SiteStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 4 {
+		t.Fatalf("got %d sites", len(pts))
+	}
+	byName := map[string]SitePoint{}
+	for _, p := range pts {
+		byName[p.Site.Name] = p
+	}
+	iceland := byName["Iceland (geothermal/hydro)"]
+	retail := byName["US retail colo"]
+	// The whole §3 siting argument: cheap cold sites dominate on TCO.
+	if iceland.TCOPerOp >= retail.TCOPerOp {
+		t.Errorf("Iceland TCO (%v) should beat retail colo (%v)",
+			iceland.TCOPerOp, retail.TCOPerOp)
+	}
+	// Cheap energy shifts weight off watts: the optimal voltage at the
+	// cheap site is at least as high as at the expensive one.
+	if iceland.OptimalVoltage < retail.OptimalVoltage {
+		t.Errorf("cheap-energy site voltage (%v) should be >= expensive site (%v)",
+			iceland.OptimalVoltage, retail.OptimalVoltage)
+	}
+}

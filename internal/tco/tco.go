@@ -1,0 +1,143 @@
+// Package tco implements the paper's refined Barroso-style total cost of
+// ownership model (paper §7, "TCO-Optimal Servers"): the datacenter-level
+// weighting that turns the two-metric Pareto frontier ($ per op/s versus
+// W per op/s) into a single scalar and thereby selects the TCO-optimal
+// design. "TCO analysis incorporates the datacenter-level constraints
+// including the cost of power delivery inside the datacenter, land,
+// depreciation, interest, and the cost of energy itself."
+//
+// The coefficients are calibrated against the paper's Tables 3-6, which
+// they reproduce to within ±0.3% (see DESIGN.md).
+package tco
+
+import "fmt"
+
+// Model holds the datacenter economics.
+type Model struct {
+	// ServerMarkup covers integration, shipping and installation on top
+	// of the bill of materials.
+	ServerMarkup float64
+
+	// InterestRate is the annual cost of capital; amortized purchases
+	// accrue interest on the declining balance (≈ rate · life / 2).
+	InterestRate float64
+
+	// LifetimeYears is the hardware amortization period. ASIC servers
+	// turn over in 1.5 years in the paper; CPU/GPU servers in 3.
+	LifetimeYears float64
+
+	// DCCapexPerWattYear is datacenter construction cost (power
+	// provisioning, cooling, land) amortized per wall watt per year.
+	DCCapexPerWattYear float64
+
+	// DCAmortYears is the facility amortization period for interest.
+	DCAmortYears float64
+
+	// ElectricityPerKWh is the energy price ($0.06 in the paper —
+	// cheap-energy sites like Iceland or the Republic of Georgia).
+	ElectricityPerKWh float64
+
+	// PUE is the power usage effectiveness multiplier on server power.
+	PUE float64
+}
+
+// Default returns the calibrated ASIC Cloud model (1.5-year server life).
+func Default() Model {
+	return Model{
+		ServerMarkup:       1.05,
+		InterestRate:       0.082,
+		LifetimeYears:      1.5,
+		DCCapexPerWattYear: 1.6027,
+		DCAmortYears:       7.1,
+		ElectricityPerKWh:  0.06,
+		PUE:                1.1,
+	}
+}
+
+// ForLifetime returns the default model with a different hardware
+// lifetime (3 years for the CPU/GPU baselines of Table 7).
+func ForLifetime(years float64) Model {
+	m := Default()
+	m.LifetimeYears = years
+	return m
+}
+
+// Validate reports whether the model is usable.
+func (m Model) Validate() error {
+	if m.LifetimeYears <= 0 {
+		return fmt.Errorf("tco: lifetime must be positive")
+	}
+	if m.PUE < 1 {
+		return fmt.Errorf("tco: PUE %v below 1 is unphysical", m.PUE)
+	}
+	if m.ElectricityPerKWh < 0 || m.DCCapexPerWattYear < 0 || m.InterestRate < 0 {
+		return fmt.Errorf("tco: negative cost parameter")
+	}
+	return nil
+}
+
+// Breakdown itemizes TCO over the hardware lifetime. All values are in
+// dollars per unit performance when fed per-op/s inputs, or absolute
+// dollars when fed whole-server cost and wall power.
+type Breakdown struct {
+	ServerAmort   float64 // server capital, with markup
+	AmortInterest float64 // interest on server capital
+	DCCapex       float64 // datacenter construction share
+	Electricity   float64 // energy over the lifetime, with PUE
+	DCInterest    float64 // interest on the datacenter share
+}
+
+// Total is the full TCO.
+func (b Breakdown) Total() float64 {
+	return b.ServerAmort + b.AmortInterest + b.DCCapex + b.Electricity + b.DCInterest
+}
+
+// Of computes the TCO breakdown for hardware costing serverCost dollars
+// and drawing watts of wall power, over the model's lifetime. Pass
+// per-performance inputs ($ per op/s, W per op/s) to obtain TCO per op/s,
+// the paper's headline metric.
+func (m Model) Of(serverCost, watts float64) Breakdown {
+	amort := serverCost * m.ServerMarkup
+	hours := m.LifetimeYears * 8760
+	dcCapex := m.DCCapexPerWattYear * m.LifetimeYears * watts
+	return Breakdown{
+		ServerAmort:   amort,
+		AmortInterest: amort * m.InterestRate * m.LifetimeYears / 2,
+		DCCapex:       dcCapex,
+		Electricity:   watts * m.PUE * hours * m.ElectricityPerKWh / 1000,
+		DCInterest:    dcCapex * m.InterestRate * m.DCAmortYears / 2,
+	}
+}
+
+// Coefficients returns the linear weights (a, b) such that
+// TCO = a·serverCost + b·watts. These are the slopes of the iso-TCO
+// lines drawn across the paper's Pareto plots (Figures 12, 14, 15, 17):
+// "diagonal lines represent equal TCO ... with min TCO at lower left".
+func (m Model) Coefficients() (costWeight, wattWeight float64) {
+	b := m.Of(1, 0)
+	w := m.Of(0, 1)
+	return b.Total(), w.Total()
+}
+
+// IsoTCOLine returns, for a given TCO level, the cost intercept and the
+// slope d(cost)/d(watts) of the equal-TCO line in the (watts, cost)
+// plane — useful for plotting over a Pareto frontier.
+func (m Model) IsoTCOLine(tcoLevel float64) (costIntercept, slope float64) {
+	a, b := m.Coefficients()
+	return tcoLevel / a, -b / a
+}
+
+// Optimal returns the index in the given parallel slices of $ per op/s
+// and W per op/s that minimizes TCO per op/s, with its breakdown. It
+// returns -1 for empty input.
+func (m Model) Optimal(costPerOp, wattsPerOp []float64) (int, Breakdown) {
+	best := -1
+	var bestB Breakdown
+	for i := range costPerOp {
+		b := m.Of(costPerOp[i], wattsPerOp[i])
+		if best < 0 || b.Total() < bestB.Total() {
+			best, bestB = i, b
+		}
+	}
+	return best, bestB
+}

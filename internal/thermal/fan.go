@@ -1,0 +1,71 @@
+package thermal
+
+import "fmt"
+
+// Fan models a commercial axial fan via its fan curve: the static pressure
+// it can sustain at a given volumetric flow. "Commercial fans are
+// characterized by a fan curve that describes how much air it can supply
+// under a certain pressure drop."
+type Fan struct {
+	Name        string
+	MaxPressure float64 // static pressure at zero flow (Pa)
+	MaxFlow     float64 // free-air flow (m³/s)
+	Power       float64 // electrical power (W)
+	Cost        float64 // $
+	Width       float64 // frame width (m); 1U fans are 40 mm
+}
+
+// Default1UFan is the 12 V / 7.5 W high-static-pressure 40 mm fan from the
+// paper's server model (Figure 3), with a curve typical of dual-rotor
+// server fans.
+func Default1UFan() Fan {
+	return Fan{
+		Name:        "40mm dual-rotor high-static-pressure 12V 7.5W",
+		MaxPressure: 320,    // Pa
+		MaxFlow:     0.0125, // 26.5 CFM
+		Power:       7.5,
+		Cost:        9.0,
+		Width:       0.040,
+	}
+}
+
+// PressureAt returns the static pressure the fan sustains at flow q,
+// using the standard quadratic approximation of an axial fan curve.
+// Beyond free-air flow the fan cannot push, so pressure is zero.
+func (f Fan) PressureAt(q float64) float64 {
+	if q <= 0 {
+		return f.MaxPressure
+	}
+	if q >= f.MaxFlow {
+		return 0
+	}
+	r := q / f.MaxFlow
+	return f.MaxPressure * (1 - r*r)
+}
+
+// FlowAt inverts the fan curve: the flow delivered against a static
+// pressure p. Pressures above MaxPressure stall the fan (zero flow).
+func (f Fan) FlowAt(p float64) float64 {
+	if p >= f.MaxPressure {
+		return 0
+	}
+	if p <= 0 {
+		return f.MaxFlow
+	}
+	r := 1 - p/f.MaxPressure
+	if r < 0 {
+		return 0
+	}
+	return f.MaxFlow * sqrt(r)
+}
+
+// Validate reports whether the fan parameters are physical.
+func (f Fan) Validate() error {
+	if f.MaxPressure <= 0 || f.MaxFlow <= 0 {
+		return fmt.Errorf("thermal: fan %q must have positive max pressure and flow", f.Name)
+	}
+	if f.Power < 0 || f.Cost < 0 {
+		return fmt.Errorf("thermal: fan %q has negative power or cost", f.Name)
+	}
+	return nil
+}

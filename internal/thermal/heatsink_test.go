@@ -1,0 +1,214 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func stdSink() HeatSink {
+	return HeatSink{
+		Width:         0.046,
+		FinHeight:     0.032,
+		Depth:         0.050,
+		BaseThickness: StdBase,
+		FinThickness:  StdFin,
+		Gap:           0.001,
+		FinMaterial:   Aluminum,
+		BaseMaterial:  Copper,
+		TIM:           DefaultTIM(),
+	}
+}
+
+func TestTIMResistanceInverseToArea(t *testing.T) {
+	tim := DefaultTIM()
+	r100 := tim.Resistance(100)
+	r200 := tim.Resistance(200)
+	if math.Abs(r100/r200-2) > 1e-9 {
+		t.Errorf("TIM resistance should halve when area doubles: %v vs %v", r100, r200)
+	}
+	// Calibration: ~25 K/W at 1 mm² with the default 0.1 mm / 4 W/mK TIM.
+	if r1 := tim.Resistance(1); math.Abs(r1-25) > 1 {
+		t.Errorf("TIM resistance at 1 mm² = %v, want ~25 K/W", r1)
+	}
+	if tim.Resistance(0) != 0 {
+		t.Error("zero area should return zero resistance")
+	}
+}
+
+func TestHeatSinkValidate(t *testing.T) {
+	if err := stdSink().Validate(); err != nil {
+		t.Fatalf("standard sink rejected: %v", err)
+	}
+	bad := []func(*HeatSink){
+		func(h *HeatSink) { h.Width = 0.090 },     // > 85 mm
+		func(h *HeatSink) { h.FinHeight = 0.034 }, // + 3 mm base > 35 mm
+		func(h *HeatSink) { h.Depth = 0.101 },     // > 100 mm
+		func(h *HeatSink) { h.Gap = 0.0005 },      // < 1 mm
+		func(h *HeatSink) { h.Depth = 0 },
+		func(h *HeatSink) { h.FinThickness = 0 },
+		func(h *HeatSink) { h.Width = 0.001 }, // < 2 fins
+	}
+	for i, mutate := range bad {
+		h := stdSink()
+		mutate(&h)
+		if err := h.Validate(); err == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+func TestFinGeometry(t *testing.T) {
+	h := stdSink()
+	// 46 mm wide at 1.5 mm pitch: 31 fins, 30 channels.
+	if got := h.FinCount(); got != 31 {
+		t.Errorf("FinCount = %d, want 31", got)
+	}
+	if got := h.ChannelCount(); got != 30 {
+		t.Errorf("ChannelCount = %d, want 30", got)
+	}
+	wantOpen := 30 * 0.001 * 0.032
+	if got := h.OpenArea(); math.Abs(got-wantOpen) > 1e-12 {
+		t.Errorf("OpenArea = %v, want %v", got, wantOpen)
+	}
+	if h.FinArea() <= 2*h.Width*h.Depth {
+		t.Error("fin area should far exceed the footprint")
+	}
+}
+
+func TestPressureDropIncreasesWithFlowAndDepth(t *testing.T) {
+	h := stdSink()
+	if h.PressureDrop(0) != 0 {
+		t.Error("no flow, no pressure drop")
+	}
+	p1 := h.PressureDrop(0.004)
+	p2 := h.PressureDrop(0.008)
+	if p2 <= p1 {
+		t.Errorf("pressure drop should grow with flow: %v vs %v", p1, p2)
+	}
+	deep := h
+	deep.Depth = 0.100
+	if deep.PressureDrop(0.004) <= p1 {
+		t.Error("deeper sink should drop more pressure — the effect that drives shallower sinks at high chip counts")
+	}
+	narrow := h
+	narrow.Gap = 0.003
+	if narrow.PressureDrop(0.004) >= p1 {
+		t.Error("wider gaps should reduce pressure drop")
+	}
+}
+
+func TestPressureDropMonotoneProperty(t *testing.T) {
+	h := stdSink()
+	f := func(a, b uint16) bool {
+		q1 := 0.0001 + 0.012*float64(a)/65535
+		q2 := 0.0001 + 0.012*float64(b)/65535
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return h.PressureDrop(q1) <= h.PressureDrop(q2)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResistanceBreakdown(t *testing.T) {
+	h := stdSink()
+	r := h.Resistance(0.005, 100)
+	if r.TIM <= 0 || r.Spreading <= 0 || r.Convection <= 0 {
+		t.Fatalf("all components should be positive: %+v", r)
+	}
+	if got := r.Total(); math.Abs(got-(r.TIM+r.Spreading+r.Convection)) > 1e-12 {
+		t.Errorf("Total() = %v, want sum of parts", got)
+	}
+	// Small dies are TIM-dominated (paper Figure 6).
+	small := h.Resistance(0.005, 4)
+	if small.TIM < 3*(small.Spreading+small.Convection) {
+		t.Errorf("4 mm² die should be TIM-dominated: %+v", small)
+	}
+	// Large dies are convection-dominated.
+	large := h.Resistance(0.005, 600)
+	if large.Convection < large.TIM {
+		t.Errorf("600 mm² die should be convection-dominated: %+v", large)
+	}
+}
+
+func TestResistanceFallsWithFlow(t *testing.T) {
+	h := stdSink()
+	slow := h.Resistance(0.002, 100).Total()
+	fast := h.Resistance(0.008, 100).Total()
+	if fast >= slow {
+		t.Errorf("more airflow should cut resistance: %v vs %v", slow, fast)
+	}
+	still := h.Resistance(0, 100)
+	if !math.IsInf(still.Convection, 1) {
+		t.Error("no airflow should mean infinite convection resistance")
+	}
+}
+
+func TestCopperSpreaderBeatsAluminum(t *testing.T) {
+	cu := stdSink()
+	al := stdSink()
+	al.BaseMaterial = Aluminum
+	rcu := cu.Resistance(0.005, 50).Spreading
+	ral := al.Resistance(0.005, 50).Spreading
+	if rcu >= ral {
+		t.Errorf("copper base should spread better: Cu %v vs Al %v", rcu, ral)
+	}
+	if cu.Cost() <= al.Cost() {
+		t.Error("copper sink should cost more")
+	}
+}
+
+func TestSinkMassAndCost(t *testing.T) {
+	h := stdSink()
+	m := h.Mass()
+	if m <= 0 || m > 1 {
+		t.Errorf("sink mass = %v kg, want a plausible sub-kg value", m)
+	}
+	c := h.Cost()
+	if c < 0.5 || c > 10 {
+		t.Errorf("sink cost = $%.2f, want low-cost commodity range", c)
+	}
+}
+
+func TestFanCurve(t *testing.T) {
+	f := Default1UFan()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.PressureAt(0); got != f.MaxPressure {
+		t.Errorf("stall pressure = %v, want %v", got, f.MaxPressure)
+	}
+	if got := f.PressureAt(f.MaxFlow); got != 0 {
+		t.Errorf("free-air pressure = %v, want 0", got)
+	}
+	if got := f.PressureAt(f.MaxFlow * 2); got != 0 {
+		t.Errorf("beyond free-air = %v, want 0", got)
+	}
+	// FlowAt inverts PressureAt.
+	for _, q := range []float64{0.001, 0.004, 0.008} {
+		p := f.PressureAt(q)
+		if got := f.FlowAt(p); math.Abs(got-q) > 1e-9 {
+			t.Errorf("FlowAt(PressureAt(%v)) = %v", q, got)
+		}
+	}
+	if f.FlowAt(f.MaxPressure+1) != 0 {
+		t.Error("overpressure should stall the fan")
+	}
+	if f.FlowAt(-5) != f.MaxFlow {
+		t.Error("negative pressure should deliver free-air flow")
+	}
+}
+
+func TestFanValidate(t *testing.T) {
+	bad := Fan{Name: "bad", MaxPressure: 0, MaxFlow: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero pressure fan should fail validation")
+	}
+	bad2 := Fan{Name: "bad2", MaxPressure: 100, MaxFlow: 0.01, Power: -1}
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative power fan should fail validation")
+	}
+}

@@ -1,0 +1,49 @@
+// Package thermal is the server cooling substrate of the ASIC Cloud design
+// flow. It replaces the paper's ANSYS Icepak CFD runs with the validated
+// analytical model the paper actually sweeps: a TIM + spreader + fin-array
+// resistance network, commercial fan curves intersected with duct pressure
+// drops, serial air heating along a lane of ASICs, and layout efficiency
+// models for the Normal, Staggered and DUCT PCB arrangements (Figure 7).
+//
+// Geometry is in metres, temperatures in °C (differences in kelvin), flow
+// in m³/s, pressure in pascals — except die area, which follows the
+// paper's convention of mm².
+package thermal
+
+// Material is a thermal conduction material.
+type Material struct {
+	Name         string
+	Conductivity float64 // W/(m·K)
+	Density      float64 // kg/m³
+	CostPerKG    float64 // $/kg
+}
+
+// Standard heat sink materials (paper Table 2: Al 200 W/mK fins, Al or
+// copper 400 W/mK heat spreader).
+var (
+	Aluminum = Material{Name: "aluminum", Conductivity: 200, Density: 2700, CostPerKG: 6.0}
+	Copper   = Material{Name: "copper", Conductivity: 400, Density: 8960, CostPerKG: 14.0}
+)
+
+// TIM is the thermal interface material gluing die to heat spreader. Its
+// poor conductivity and inverse proportionality to die area make it the
+// dominant resistance for small dies (paper Figure 6).
+type TIM struct {
+	Thickness    float64 // m
+	Conductivity float64 // W/(m·K)
+}
+
+// DefaultTIM is a typical high-performance thermal grease/epoxy layer.
+func DefaultTIM() TIM {
+	return TIM{Thickness: 0.1e-3, Conductivity: 4.0}
+}
+
+// Resistance returns the TIM conduction resistance in K/W for a die of
+// the given area in mm².
+func (t TIM) Resistance(dieAreaMM2 float64) float64 {
+	if dieAreaMM2 <= 0 {
+		return 0
+	}
+	areaM2 := dieAreaMM2 * 1e-6
+	return t.Thickness / (t.Conductivity * areaM2)
+}

@@ -1,0 +1,189 @@
+// Package units provides the physical quantities, conversion constants and
+// small numeric helpers shared by every subsystem of the ASIC Cloud design
+// space explorer.
+//
+// All models in this repository work in SI units internally (watts, metres,
+// kelvins, pascals, cubic metres per second) with two deliberate exceptions
+// that follow the paper's own conventions: silicon area is carried in mm²
+// and money in US dollars.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical constants used by the thermal models.
+const (
+	// AirDensity is the density of air in kg/m³ at roughly 35 °C, the mean
+	// temperature inside a 1U duct fed with 30 °C inlet air.
+	AirDensity = 1.145
+
+	// AirSpecificHeat is the specific heat capacity of air in J/(kg·K).
+	AirSpecificHeat = 1007
+
+	// AirConductivity is the thermal conductivity of air in W/(m·K).
+	AirConductivity = 0.0264
+
+	// AirViscosity is the kinematic viscosity of air in m²/s at ~35 °C.
+	AirViscosity = 1.655e-5
+
+	// AirPrandtl is the Prandtl number of air (dimensionless).
+	AirPrandtl = 0.72
+)
+
+// Time conversion constants.
+const (
+	HoursPerYear   = 24 * 365
+	SecondsPerHour = 3600
+)
+
+// MM2ToM2 converts an area in mm² to m².
+func MM2ToM2(mm2 float64) float64 { return mm2 * 1e-6 }
+
+// M2ToMM2 converts an area in m² to mm².
+func M2ToMM2(m2 float64) float64 { return m2 * 1e6 }
+
+// CFMToM3s converts cubic feet per minute to m³/s, the airflow unit used by
+// commercial fan datasheets versus the SI unit used by our duct models.
+func CFMToM3s(cfm float64) float64 { return cfm * 0.000471947 }
+
+// M3sToCFM converts m³/s to cubic feet per minute.
+func M3sToCFM(m3s float64) float64 { return m3s / 0.000471947 }
+
+// CtoK converts Celsius to Kelvin.
+func CtoK(c float64) float64 { return c + 273.15 }
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lerp linearly interpolates between a and b by t in [0, 1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// ApproxEqual reports whether a and b agree to within a relative tolerance
+// tol (or an absolute tolerance tol when both values are near zero).
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	largest := math.Max(math.Abs(a), math.Abs(b))
+	if largest < 1 {
+		return diff <= tol
+	}
+	return diff <= tol*largest
+}
+
+// Bisect finds x in [lo, hi] with f(x) ≈ 0 by bisection. f must be
+// monotonic across the interval with a sign change; if f has the same sign
+// at both endpoints, the endpoint with the smaller |f| is returned and
+// ok is false.
+func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (x float64, ok bool) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, true
+	}
+	if fhi == 0 {
+		return hi, true
+	}
+	if flo*fhi > 0 {
+		if math.Abs(flo) < math.Abs(fhi) {
+			return lo, false
+		}
+		return hi, false
+	}
+	for i := 0; i < maxIter; i++ {
+		mid := (lo + hi) / 2
+		fm := f(mid)
+		if fm == 0 || (hi-lo)/2 < tol {
+			return mid, true
+		}
+		if flo*fm < 0 {
+			hi = mid
+		} else {
+			lo, flo = mid, fm
+		}
+	}
+	return (lo + hi) / 2, true
+}
+
+// MaximizeGolden finds the x in [lo, hi] that maximizes the unimodal
+// function f via golden-section search.
+func MaximizeGolden(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
+	const invPhi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)*invPhi
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)*invPhi
+			fd = f(d)
+		}
+	}
+	x = (a + b) / 2
+	return x, f(x)
+}
+
+// Money formats a dollar amount with thousands separators, e.g. "$12,686".
+func Money(v float64) string {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	whole := int64(math.Round(v))
+	s := group(whole)
+	if neg {
+		return "-$" + s
+	}
+	return "$" + s
+}
+
+func group(v int64) string {
+	s := fmt.Sprintf("%d", v)
+	n := len(s)
+	if n <= 3 {
+		return s
+	}
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (n-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// SI formats v with an SI magnitude suffix and the given unit, e.g.
+// SI(575e6, "GH/s") → "575.0 MGH/s" is avoided by picking the natural
+// prefix: SI(575e6, "H/s") → "575.0 MH/s".
+func SI(v float64, unit string) string {
+	abs := math.Abs(v)
+	type scale struct {
+		mul    float64
+		prefix string
+	}
+	scales := []scale{
+		{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1, ""},
+	}
+	for _, s := range scales {
+		if abs >= s.mul {
+			return fmt.Sprintf("%.1f %s%s", v/s.mul, s.prefix, unit)
+		}
+	}
+	return fmt.Sprintf("%.3g %s", v, unit)
+}

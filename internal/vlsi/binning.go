@@ -1,0 +1,173 @@
+package vlsi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Binning models process variation: manufactured chips spread around the
+// nominal frequency, and a vendor must decide what to promise. The paper
+// (§3) explains why merged ASIC development and cloud operation won:
+// "meeting an exact target for an ASIC chip is a challenging process,
+// and tuning the system until it meets the promised specifications
+// exactly ... delays the deployment of the ASICs." A self-operated cloud
+// runs every chip at its own best frequency immediately; a hardware
+// vendor ships only chips that meet the advertised bin and waits on the
+// rest.
+type Binning struct {
+	// Sigma is the relative standard deviation of chip frequency
+	// (5-8% is typical for a mature 28nm process).
+	Sigma float64
+}
+
+// DefaultBinning is a mature-process spread.
+func DefaultBinning() Binning { return Binning{Sigma: 0.06} }
+
+// Validate reports whether the model is usable.
+func (b Binning) Validate() error {
+	if b.Sigma < 0 || b.Sigma >= 0.5 {
+		return fmt.Errorf("vlsi: binning sigma %v outside [0, 0.5)", b.Sigma)
+	}
+	return nil
+}
+
+// normalCDF is Φ(x) via the complementary error function.
+func normalCDF(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+
+// SpecYield is the fraction of chips meeting a promised frequency,
+// expressed relative to nominal (promise=0.95 ⇒ 95% of nominal).
+func (b Binning) SpecYield(promise float64) float64 {
+	if b.Sigma == 0 {
+		if promise <= 1 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - normalCDF((promise-1)/b.Sigma)
+}
+
+// SelfRunThroughput is the expected per-chip throughput, relative to
+// nominal, when the operator runs every chip at its own measured
+// frequency (the cloud model): simply the mean of the distribution, 1.0,
+// less a small margin for the guard band the operator still applies.
+func (b Binning) SelfRunThroughput(guardBand float64) (float64, error) {
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if guardBand < 0 || guardBand >= 1 {
+		return 0, fmt.Errorf("vlsi: guard band %v outside [0, 1)", guardBand)
+	}
+	return 1 - guardBand, nil
+}
+
+// VendorThroughput is the expected per-manufactured-chip throughput when
+// chips are sold at a promised bin: chips below the bin are discarded
+// (or delayed), chips above run at the promise. Expected throughput per
+// manufactured chip = promise × yield(promise).
+func (b Binning) VendorThroughput(promise float64) (float64, error) {
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if promise <= 0 {
+		return 0, fmt.Errorf("vlsi: promise %v must be positive", promise)
+	}
+	return promise * b.SpecYield(promise), nil
+}
+
+// BestVendorPromise searches the promised bin that maximizes expected
+// throughput per manufactured chip, returning the promise and its
+// throughput. Even at the optimum, the vendor model loses to self-run:
+// discarded slow chips and the under-clocking of fast chips both waste
+// silicon.
+func (b Binning) BestVendorPromise() (promise, throughput float64, err error) {
+	if err := b.Validate(); err != nil {
+		return 0, 0, err
+	}
+	grid := make([]float64, 0, 81)
+	for p := 0.70; p <= 1.10001; p += 0.005 {
+		grid = append(grid, p)
+	}
+	best := -1.0
+	bestP := 0.0
+	for _, p := range grid {
+		t, err := b.VendorThroughput(p)
+		if err != nil {
+			return 0, 0, err
+		}
+		if t > best {
+			best, bestP = t, p
+		}
+	}
+	return bestP, best, nil
+}
+
+// CloudAdvantage quantifies §3's argument: the throughput ratio of the
+// self-operated cloud over the best-binning hardware vendor, per
+// manufactured chip, with the given operator guard band.
+func (b Binning) CloudAdvantage(guardBand float64) (float64, error) {
+	self, err := b.SelfRunThroughput(guardBand)
+	if err != nil {
+		return 0, err
+	}
+	_, vendor, err := b.BestVendorPromise()
+	if err != nil {
+		return 0, err
+	}
+	if vendor <= 0 {
+		return math.Inf(1), nil
+	}
+	return self / vendor, nil
+}
+
+// SampleFrequencies draws a deterministic sample of relative chip
+// frequencies for simulation (inverse-CDF over a stratified grid, so the
+// sample is reproducible and exactly spans the distribution).
+func (b Binning) SampleFrequencies(n int) ([]float64, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("vlsi: sample size %d must be positive", n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		// Midpoint-stratified quantiles.
+		q := (float64(i) + 0.5) / float64(n)
+		out[i] = 1 + b.Sigma*inverseNormalCDF(q)
+	}
+	sort.Float64s(out)
+	return out, nil
+}
+
+// inverseNormalCDF is the Acklam approximation of Φ⁻¹, accurate to
+// ~1e-9 over (0, 1).
+func inverseNormalCDF(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	bb := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow = 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > 1-plow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((bb[0]*r+bb[1])*r+bb[2])*r+bb[3])*r+bb[4])*r + 1)
+	}
+}

@@ -1,0 +1,107 @@
+package vlsi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitDelayCurveFromShmoo(t *testing.T) {
+	// Synthesize shmoo data from the reference curve, then refit it:
+	// the round trip must reproduce the curve at the anchors.
+	ref := Default28nm()
+	const f0 = 830e6
+	points := map[float64]float64{}
+	for _, v := range []float64{0.40, 0.49, 0.62, 0.80, 1.00} {
+		points[v] = f0 / ref.Delay(v)
+	}
+	fit, err := FitDelayCurve(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range points {
+		want := ref.Delay(v) / ref.Delay(1.00)
+		if got := fit.Delay(v); math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("fit.Delay(%v) = %v, want %v", v, got, want)
+		}
+	}
+	// Interpolated points stay monotone.
+	prev := math.Inf(1)
+	for v := 0.40; v <= 1.0; v += 0.01 {
+		d := fit.Delay(v)
+		if d > prev+1e-12 {
+			t.Fatalf("fitted curve not monotone at %v", v)
+		}
+		prev = d
+	}
+}
+
+func TestFitDelayCurveErrors(t *testing.T) {
+	if _, err := FitDelayCurve(map[float64]float64{1.0: 8e8}); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, err := FitDelayCurve(map[float64]float64{0.5: -1, 1.0: 8e8}); err == nil {
+		t.Error("negative frequency should fail")
+	}
+	// Non-monotone silicon (noise) is rejected rather than fit.
+	if _, err := FitDelayCurve(map[float64]float64{0.5: 9e8, 0.7: 4e8, 1.0: 8e8}); err == nil {
+		t.Error("non-monotone measurements should fail")
+	}
+}
+
+func TestNodeScaling40nm(t *testing.T) {
+	base := Spec{
+		Name: "x", PerfUnit: "GH/s", Area: 0.66,
+		NominalVoltage: 1.0, NominalFreq: 830e6, NominalPerf: 0.83,
+		NominalPowerDensity: 2.0, LeakageFraction: 0.01, VoltageScalable: true,
+	}
+	ported, err := To40nmFrom28nm().Apply(base, "x-40nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ported.Name != "x-40nm" {
+		t.Error("name not applied")
+	}
+	if math.Abs(ported.Area-1.32) > 1e-12 {
+		t.Errorf("area = %v, want 1.32", ported.Area)
+	}
+	if math.Abs(ported.NominalPerf-0.83*0.75) > 1e-12 {
+		t.Error("performance should follow frequency")
+	}
+	// Power density: ×1.35 energy ×0.75 freq ÷2.0 area ≈ ×0.506.
+	if math.Abs(ported.NominalPowerDensity-2.0*1.35*0.75/2.0) > 1e-12 {
+		t.Errorf("density = %v", ported.NominalPowerDensity)
+	}
+	// Energy per op worsened by exactly the energy factor.
+	baseE := base.NominalPowerDensity * base.Area / base.NominalPerf
+	portE := ported.NominalPowerDensity * ported.Area / ported.NominalPerf
+	if math.Abs(portE/baseE-1.35) > 1e-9 {
+		t.Errorf("energy/op ratio = %v, want 1.35", portE/baseE)
+	}
+}
+
+func TestNodeScalingForward(t *testing.T) {
+	base := Spec{
+		Name: "x", PerfUnit: "GH/s", Area: 0.66,
+		NominalVoltage: 1.0, NominalFreq: 830e6, NominalPerf: 0.83,
+		NominalPowerDensity: 2.0, LeakageFraction: 0.01, VoltageScalable: true,
+	}
+	fwd, err := To20nmFrom28nm().Apply(base, "x-20nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd.Area >= base.Area {
+		t.Error("forward port should shrink")
+	}
+	if fwd.NominalPerf <= base.NominalPerf {
+		t.Error("forward port should speed up")
+	}
+	bad := NodeScaling{AreaFactor: 0}
+	if _, err := bad.Apply(base, "y"); err == nil {
+		t.Error("zero factor should fail")
+	}
+	invalid := base
+	invalid.Area = 0
+	if _, err := To40nmFrom28nm().Apply(invalid, "y"); err == nil {
+		t.Error("invalid spec should fail")
+	}
+}

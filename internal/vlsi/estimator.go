@@ -1,0 +1,138 @@
+package vlsi
+
+import "fmt"
+
+// Netlist is a coarse structural description of an accelerator, the input
+// to the gate-level area/power estimator. It substitutes for a synthesis
+// run when designing a new RCA from scratch (see examples/customaccel).
+type Netlist struct {
+	// Name of the design.
+	Name string
+
+	// Gates is the combinational complexity in NAND2-equivalent gates.
+	Gates float64
+
+	// Flops is the number of flip-flops (pipeline and state registers).
+	Flops float64
+
+	// SRAMBits is the total on-chip SRAM capacity in bits.
+	SRAMBits float64
+
+	// CombActivity is the average combinational toggle rate per cycle.
+	// Cryptographic logic approaches 0.5 ("50% or higher"); typical
+	// datapaths run nearer 0.1–0.2.
+	CombActivity float64
+
+	// FlopActivity is the flip-flop toggle rate per cycle; the paper
+	// notes 100% for Bitcoin's fully random data.
+	FlopActivity float64
+
+	// SRAMAccessesPerCycle is the average number of word accesses per
+	// cycle across all SRAMs.
+	SRAMAccessesPerCycle float64
+
+	// SRAMWordBits is the word width of SRAM accesses.
+	SRAMWordBits float64
+}
+
+// Technology holds the per-element area and energy coefficients of a
+// standard-cell library at its nominal voltage. The defaults are
+// calibrated so a structural model of the paper's Bitcoin RCA reproduces
+// its published 0.66 mm² / 2 W/mm² @ 830 MHz within a few percent (this is
+// asserted by tests).
+type Technology struct {
+	Name string
+
+	// NominalVoltage of characterization.
+	NominalVoltage float64
+
+	// GateArea is placed area per NAND2-equivalent in µm², including
+	// routing/utilization overhead.
+	GateArea float64
+
+	// FlopArea is placed area per flop in µm², including clock tree.
+	FlopArea float64
+
+	// SRAMBitArea is array area per bit in µm² including periphery.
+	SRAMBitArea float64
+
+	// GateEnergy is switching energy per gate toggle in femtojoules.
+	GateEnergy float64
+
+	// FlopEnergy is energy per flop toggle in femtojoules, including its
+	// share of the clock tree.
+	FlopEnergy float64
+
+	// SRAMBitEnergy is energy per bit accessed in femtojoules.
+	SRAMBitEnergy float64
+
+	// LeakagePerMM2 is leakage power density in W/mm² at nominal voltage.
+	LeakagePerMM2 float64
+}
+
+// Generic28nm is the calibrated 28nm HPM-class library model.
+func Generic28nm() Technology {
+	return Technology{
+		Name:           "generic 28nm",
+		NominalVoltage: 1.0,
+		GateArea:       0.95,
+		FlopArea:       4.6,
+		SRAMBitArea:    0.16,
+		GateEnergy:     4.0,
+		FlopEnergy:     10.5,
+		SRAMBitEnergy:  2.2,
+		LeakagePerMM2:  0.04,
+	}
+}
+
+// Estimate converts a netlist into an RCA Spec at the given clock
+// frequency (Hz) and performance (ops per cycle in perfUnit·s terms, i.e.
+// throughput per clock). perfPerCycle is the work completed per clock in
+// PerfUnit·seconds — e.g. a fully pipelined hash core finishing one hash
+// per cycle at GH/s granularity passes 1e-9.
+func (t Technology) Estimate(n Netlist, freqHz, perfPerCycle float64, perfUnit string) (Spec, error) {
+	if n.Gates < 0 || n.Flops < 0 || n.SRAMBits < 0 {
+		return Spec{}, fmt.Errorf("vlsi: netlist %s has negative element counts", n.Name)
+	}
+	if freqHz <= 0 {
+		return Spec{}, fmt.Errorf("vlsi: netlist %s needs a positive frequency", n.Name)
+	}
+	areaUM2 := n.Gates*t.GateArea + n.Flops*t.FlopArea + n.SRAMBits*t.SRAMBitArea
+	areaMM2 := areaUM2 * 1e-6
+	if areaMM2 <= 0 {
+		return Spec{}, fmt.Errorf("vlsi: netlist %s has zero area", n.Name)
+	}
+
+	// Energy per cycle in femtojoules.
+	epc := n.Gates*n.CombActivity*t.GateEnergy +
+		n.Flops*n.FlopActivity*t.FlopEnergy +
+		n.SRAMAccessesPerCycle*n.SRAMWordBits*t.SRAMBitEnergy
+	dynW := epc * 1e-15 * freqHz
+	leakW := t.LeakagePerMM2 * areaMM2
+	totalW := dynW + leakW
+
+	sramAreaFrac := n.SRAMBits * t.SRAMBitArea / areaUM2
+	sramPowerW := n.SRAMAccessesPerCycle*n.SRAMWordBits*t.SRAMBitEnergy*1e-15*freqHz +
+		leakW*sramAreaFrac
+	sramFrac := 0.0
+	if totalW > 0 {
+		sramFrac = sramPowerW / totalW
+	}
+
+	spec := Spec{
+		Name:                n.Name,
+		PerfUnit:            perfUnit,
+		Area:                areaMM2,
+		NominalVoltage:      t.NominalVoltage,
+		NominalFreq:         freqHz,
+		NominalPerf:         perfPerCycle * freqHz,
+		NominalPowerDensity: totalW / areaMM2,
+		LeakageFraction:     leakW / totalW,
+		SRAMPowerFraction:   sramFrac,
+		VoltageScalable:     true,
+	}
+	if n.SRAMBits > 0 {
+		spec.SRAMVmin = 0.9
+	}
+	return spec, spec.Validate()
+}

@@ -1,0 +1,117 @@
+package vlsi
+
+import (
+	"fmt"
+	"math"
+)
+
+// PowerGrid models the on-die supply network the paper calls out
+// explicitly in its Figure 2: "we show the Power Grid explicitly,
+// because for high power density or low-voltage ASICs, it will have to
+// be engineered explicitly for low IR drop and high current."
+//
+// The model: a flip-chip die draws current through an area array of
+// bumps into upper-metal power straps. Worst-case static droop is the
+// droop across half a bump pitch of grid metal carrying the current of
+// one bump cell, a standard first-order sizing relation:
+//
+//	droop ≈ J · pitch² · Rsheet / (8 · metalFraction)
+//
+// with J the current per area (A/mm²). Designs must keep droop below a
+// fraction of the supply; low-voltage near-threshold operation squeezes
+// the budget from both sides (higher J at a given power density, and a
+// smaller absolute budget).
+type PowerGrid struct {
+	// BumpPitch is the flip-chip power bump spacing (mm); ~0.2 mm for
+	// a dense array.
+	BumpPitch float64
+	// SheetOhms is the upper-metal sheet resistance (Ω/□).
+	SheetOhms float64
+	// MetalFraction is the share of the top metal layers dedicated to
+	// power and ground straps.
+	MetalFraction float64
+	// DroopBudget is the allowed static droop as a fraction of VDD.
+	DroopBudget float64
+}
+
+// DefaultPowerGrid is a dense flip-chip grid.
+func DefaultPowerGrid() PowerGrid {
+	return PowerGrid{
+		BumpPitch:     0.40,
+		SheetOhms:     0.040,
+		MetalFraction: 0.30,
+		DroopBudget:   0.05,
+	}
+}
+
+// Validate reports whether the grid is physical.
+func (g PowerGrid) Validate() error {
+	switch {
+	case g.BumpPitch <= 0:
+		return fmt.Errorf("vlsi: bump pitch must be positive")
+	case g.SheetOhms <= 0:
+		return fmt.Errorf("vlsi: sheet resistance must be positive")
+	case g.MetalFraction <= 0 || g.MetalFraction > 1:
+		return fmt.Errorf("vlsi: metal fraction %v outside (0, 1]", g.MetalFraction)
+	case g.DroopBudget <= 0 || g.DroopBudget >= 0.5:
+		return fmt.Errorf("vlsi: droop budget %v outside (0, 0.5)", g.DroopBudget)
+	}
+	return nil
+}
+
+// Droop returns the worst-case static IR droop in volts for a design
+// drawing powerDensity W/mm² at voltage volts.
+func (g PowerGrid) Droop(powerDensity, volts float64) (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if powerDensity < 0 || volts <= 0 {
+		return 0, fmt.Errorf("vlsi: power density must be >= 0 and voltage positive")
+	}
+	j := powerDensity / volts // A/mm²
+	return j * g.BumpPitch * g.BumpPitch * g.SheetOhms / (8 * g.MetalFraction), nil
+}
+
+// OK reports whether the design's droop fits the budget.
+func (g PowerGrid) OK(powerDensity, volts float64) (bool, error) {
+	d, err := g.Droop(powerDensity, volts)
+	if err != nil {
+		return false, err
+	}
+	return d <= g.DroopBudget*volts, nil
+}
+
+// RequiredMetalFraction returns the top-metal share needed to hold the
+// droop budget at the given operating point — the explicit engineering
+// the paper says near-threshold high-density ASICs need. It returns an
+// error when even 100% metal cannot meet the budget (the design must
+// shrink its bump pitch instead).
+func (g PowerGrid) RequiredMetalFraction(powerDensity, volts float64) (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if powerDensity < 0 || volts <= 0 {
+		return 0, fmt.Errorf("vlsi: power density must be >= 0 and voltage positive")
+	}
+	j := powerDensity / volts
+	need := j * g.BumpPitch * g.BumpPitch * g.SheetOhms / (8 * g.DroopBudget * volts)
+	if need > 1 {
+		return 0, fmt.Errorf("vlsi: droop budget unreachable at %.2f W/mm² and %.2f V (needs %.0f%% metal); shrink the bump pitch",
+			powerDensity, volts, 100*need)
+	}
+	return math.Max(need, 0.02), nil
+}
+
+// MaxPowerDensity is the highest power density the grid supports at the
+// given voltage within its droop budget.
+func (g PowerGrid) MaxPowerDensity(volts float64) (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if volts <= 0 {
+		return 0, fmt.Errorf("vlsi: voltage must be positive")
+	}
+	// droop = (p/v)·k/(8m) <= budget·v  =>  p <= 8·m·budget·v²/k.
+	k := g.BumpPitch * g.BumpPitch * g.SheetOhms
+	return 8 * g.MetalFraction * g.DroopBudget * volts * volts / k, nil
+}

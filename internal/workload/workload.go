@@ -1,0 +1,246 @@
+// Package workload models the planet-scale service traffic that
+// motivates ASIC Clouds ("Facebook's face recognition algorithms are
+// used on 2 billion uploaded photos a day ... YouTube transcodes all
+// user-uploaded videos"): a synthetic arrival generator with diurnal
+// load swings, and a discrete-event queueing simulation of a server
+// fleet serving those arrivals. Where datacenter.Plan sizes a fleet for
+// average throughput, this package sizes it for latency targets under
+// bursty load.
+package workload
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Generator produces synthetic job arrivals: a Poisson process whose
+// rate follows a diurnal (sinusoidal) profile, with job service demands
+// drawn from a log-normal distribution — the classic shape of upload
+// sizes and transcode durations.
+type Generator struct {
+	// MeanRate is the average arrivals per second.
+	MeanRate float64
+	// DiurnalSwing in [0, 1): peak rate is MeanRate·(1+swing), trough
+	// is MeanRate·(1-swing).
+	DiurnalSwing float64
+	// PeriodSeconds of the diurnal cycle (86400 for a day).
+	PeriodSeconds float64
+	// MeanServiceSec and ServiceSigma parameterize the log-normal job
+	// service demand on one server at full speed.
+	MeanServiceSec float64
+	ServiceSigma   float64
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// DefaultGenerator resembles a transcoding front door: 100 jobs/s on
+// average, ±60% diurnal swing, ~4 s mean service with heavy tail.
+func DefaultGenerator() Generator {
+	return Generator{
+		MeanRate:       100,
+		DiurnalSwing:   0.6,
+		PeriodSeconds:  86400,
+		MeanServiceSec: 4,
+		ServiceSigma:   0.8,
+		Seed:           1,
+	}
+}
+
+// Validate reports whether the generator is usable.
+func (g Generator) Validate() error {
+	switch {
+	case g.MeanRate <= 0:
+		return fmt.Errorf("workload: mean rate must be positive")
+	case g.DiurnalSwing < 0 || g.DiurnalSwing >= 1:
+		return fmt.Errorf("workload: diurnal swing %v outside [0, 1)", g.DiurnalSwing)
+	case g.PeriodSeconds <= 0:
+		return fmt.Errorf("workload: period must be positive")
+	case g.MeanServiceSec <= 0:
+		return fmt.Errorf("workload: mean service must be positive")
+	case g.ServiceSigma < 0:
+		return fmt.Errorf("workload: negative service sigma")
+	}
+	return nil
+}
+
+// RateAt returns the instantaneous arrival rate at time t seconds.
+func (g Generator) RateAt(t float64) float64 {
+	return g.MeanRate * (1 + g.DiurnalSwing*math.Sin(2*math.Pi*t/g.PeriodSeconds))
+}
+
+// Job is one arrival.
+type Job struct {
+	ID         int
+	ArrivalSec float64
+	ServiceSec float64 // demand on one server at full speed
+}
+
+// Trace generates arrivals over the given horizon via thinning
+// (rejection sampling against the peak rate), so the arrival process is
+// an inhomogeneous Poisson process with the diurnal profile.
+func (g Generator) Trace(horizonSec float64) ([]Job, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if horizonSec <= 0 {
+		return nil, fmt.Errorf("workload: non-positive horizon")
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	peak := g.MeanRate * (1 + g.DiurnalSwing)
+	// Log-normal with the requested mean: mu = ln(mean) - sigma²/2.
+	mu := math.Log(g.MeanServiceSec) - g.ServiceSigma*g.ServiceSigma/2
+
+	var jobs []Job
+	t := 0.0
+	id := 0
+	for {
+		t += rng.ExpFloat64() / peak
+		if t >= horizonSec {
+			break
+		}
+		if rng.Float64()*peak > g.RateAt(t) {
+			continue // thinned
+		}
+		id++
+		jobs = append(jobs, Job{
+			ID:         id,
+			ArrivalSec: t,
+			ServiceSec: math.Exp(mu + g.ServiceSigma*rng.NormFloat64()),
+		})
+	}
+	return jobs, nil
+}
+
+// FleetResult summarizes a queueing simulation.
+type FleetResult struct {
+	Servers     int
+	Completed   int
+	Utilization float64 // busy server-seconds over capacity
+	MeanWaitSec float64
+	P99WaitSec  float64
+	MaxQueue    int
+}
+
+// SimulateFleet runs the trace through `servers` identical servers, each
+// processing one job at a time at `speedup`× the generator's reference
+// speed (an ASIC server replacing a CPU server has a large speedup),
+// FCFS from a single shared queue. It returns waiting-time statistics.
+func SimulateFleet(jobs []Job, servers int, speedup float64) (FleetResult, error) {
+	if servers <= 0 {
+		return FleetResult{}, fmt.Errorf("workload: need at least one server")
+	}
+	if speedup <= 0 {
+		return FleetResult{}, fmt.Errorf("workload: speedup must be positive")
+	}
+	if len(jobs) == 0 {
+		return FleetResult{Servers: servers}, nil
+	}
+	// A min-heap of busy servers' next-free times; servers never yet
+	// used are implicitly free, so fleets far larger than the offered
+	// load cost nothing to simulate. A second heap of departure times
+	// tracks the jobs-in-system count exactly.
+	busyHeap := &floatHeap{}
+	inSystem := &floatHeap{}
+	waits := make([]float64, 0, len(jobs))
+	var busy float64
+	var maxQueue int
+
+	for _, j := range jobs {
+		// Drain jobs that departed before this arrival.
+		for inSystem.Len() > 0 && (*inSystem)[0] <= j.ArrivalSec {
+			heap.Pop(inSystem)
+		}
+
+		start := j.ArrivalSec
+		if busyHeap.Len() >= servers {
+			// Every server has been used: wait for the earliest.
+			earliest := heap.Pop(busyHeap).(float64)
+			if earliest > start {
+				start = earliest
+			}
+		}
+		service := j.ServiceSec / speedup
+		heap.Push(busyHeap, start+service)
+		heap.Push(inSystem, start+service)
+		if inSystem.Len() > maxQueue {
+			maxQueue = inSystem.Len()
+		}
+		busy += service
+		waits = append(waits, start-j.ArrivalSec)
+	}
+
+	sort.Float64s(waits)
+	var sum float64
+	for _, w := range waits {
+		sum += w
+	}
+	horizon := jobs[len(jobs)-1].ArrivalSec
+	if horizon <= 0 {
+		horizon = 1
+	}
+	res := FleetResult{
+		Servers:     servers,
+		Completed:   len(jobs),
+		Utilization: busy / (float64(servers) * horizon),
+		MeanWaitSec: sum / float64(len(waits)),
+		P99WaitSec:  waits[int(float64(len(waits))*0.99)],
+		MaxQueue:    maxQueue,
+	}
+	if res.Utilization > 1 {
+		res.Utilization = 1
+	}
+	return res, nil
+}
+
+// ProvisionForLatency finds the smallest fleet whose 99th-percentile
+// wait stays at or below targetP99 seconds, searching up to maxServers.
+// This is the latency-aware counterpart of datacenter.Plan.
+func ProvisionForLatency(jobs []Job, speedup, targetP99 float64, maxServers int) (FleetResult, error) {
+	if targetP99 < 0 {
+		return FleetResult{}, fmt.Errorf("workload: negative latency target")
+	}
+	if maxServers <= 0 {
+		return FleetResult{}, fmt.Errorf("workload: need a positive server cap")
+	}
+	// Binary search on the monotone relationship between fleet size and
+	// P99 wait.
+	lo, hi := 1, maxServers
+	var best *FleetResult
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		r, err := SimulateFleet(jobs, mid, speedup)
+		if err != nil {
+			return FleetResult{}, err
+		}
+		if r.P99WaitSec <= targetP99 {
+			b := r
+			best = &b
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		return FleetResult{}, fmt.Errorf("workload: no fleet up to %d servers meets P99 <= %vs",
+			maxServers, targetP99)
+	}
+	return *best, nil
+}
+
+// floatHeap is a min-heap of float64 for the fleet simulation.
+type floatHeap []float64
+
+func (h floatHeap) Len() int            { return len(h) }
+func (h floatHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h floatHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *floatHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *floatHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

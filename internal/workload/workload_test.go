@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorValidate(t *testing.T) {
+	if err := DefaultGenerator().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Generator){
+		func(g *Generator) { g.MeanRate = 0 },
+		func(g *Generator) { g.DiurnalSwing = 1.0 },
+		func(g *Generator) { g.DiurnalSwing = -0.1 },
+		func(g *Generator) { g.PeriodSeconds = 0 },
+		func(g *Generator) { g.MeanServiceSec = 0 },
+		func(g *Generator) { g.ServiceSigma = -1 },
+	}
+	for i, mutate := range bad {
+		g := DefaultGenerator()
+		mutate(&g)
+		if g.Validate() == nil {
+			t.Errorf("mutation %d not rejected", i)
+		}
+	}
+}
+
+func TestRateProfile(t *testing.T) {
+	g := DefaultGenerator()
+	peak := g.RateAt(g.PeriodSeconds / 4)       // sin = 1
+	trough := g.RateAt(3 * g.PeriodSeconds / 4) // sin = -1
+	if math.Abs(peak-g.MeanRate*1.6) > 1e-9 {
+		t.Errorf("peak rate = %v, want %v", peak, g.MeanRate*1.6)
+	}
+	if math.Abs(trough-g.MeanRate*0.4) > 1e-9 {
+		t.Errorf("trough rate = %v, want %v", trough, g.MeanRate*0.4)
+	}
+}
+
+func TestTraceStatistics(t *testing.T) {
+	g := DefaultGenerator()
+	g.MeanRate = 50
+	g.DiurnalSwing = 0 // flat profile so the expected count is exact
+	const horizon = 4 * 3600.0
+	jobs, err := g.Trace(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.MeanRate * horizon
+	if math.Abs(float64(len(jobs))-want)/want > 0.15 {
+		t.Errorf("arrivals = %d, want ~%.0f", len(jobs), want)
+	}
+	// Arrivals sorted in time, service demands positive, IDs unique.
+	prev := -1.0
+	for i, j := range jobs {
+		if j.ArrivalSec < prev {
+			t.Fatalf("arrivals out of order at %d", i)
+		}
+		prev = j.ArrivalSec
+		if j.ServiceSec <= 0 {
+			t.Fatalf("non-positive service at %d", i)
+		}
+		if j.ID != i+1 {
+			t.Fatalf("ID gap at %d", i)
+		}
+	}
+	// Mean service near the configured mean.
+	var sum float64
+	for _, j := range jobs {
+		sum += j.ServiceSec
+	}
+	mean := sum / float64(len(jobs))
+	if math.Abs(mean-g.MeanServiceSec)/g.MeanServiceSec > 0.15 {
+		t.Errorf("mean service = %v, want ~%v", mean, g.MeanServiceSec)
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	g := DefaultGenerator()
+	a, err := g.Trace(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Trace(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("trace not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+	if _, err := g.Trace(0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+}
+
+func TestSimulateFleetBasics(t *testing.T) {
+	g := DefaultGenerator()
+	g.MeanRate = 20
+	g.DiurnalSwing = 0
+	jobs, err := g.Trace(1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offered load = 20 jobs/s × 4 s = 80 server-equivalents; a 120-
+	// server fleet is comfortably provisioned.
+	r, err := SimulateFleet(jobs, 120, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed != len(jobs) {
+		t.Errorf("completed %d of %d", r.Completed, len(jobs))
+	}
+	if r.Utilization < 0.4 || r.Utilization > 0.9 {
+		t.Errorf("utilization = %v, want ~0.67", r.Utilization)
+	}
+	if r.P99WaitSec < r.MeanWaitSec {
+		t.Error("P99 wait below the mean")
+	}
+	// An under-provisioned fleet must wait far longer.
+	tight, err := SimulateFleet(jobs, 60, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.MeanWaitSec <= r.MeanWaitSec {
+		t.Errorf("60 servers (%vs wait) should queue worse than 120 (%vs)",
+			tight.MeanWaitSec, r.MeanWaitSec)
+	}
+	if tight.MaxQueue <= r.MaxQueue {
+		t.Error("under-provisioning should deepen the queue")
+	}
+}
+
+func TestSpeedupShrinksFleet(t *testing.T) {
+	// The ASIC cloud argument in queueing form: a server with a big
+	// speedup serves the same trace with far fewer machines at the same
+	// latency.
+	g := DefaultGenerator()
+	g.MeanRate = 20
+	jobs, err := g.Trace(1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := ProvisionForLatency(jobs, 1.0, 1.0, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := ProvisionForLatency(jobs, 50.0, 1.0, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Servers*10 > slow.Servers {
+		t.Errorf("50x servers (%d) should be <10%% of 1x fleet (%d)",
+			fast.Servers, slow.Servers)
+	}
+	if fast.P99WaitSec > 1.0 || slow.P99WaitSec > 1.0 {
+		t.Error("provisioned fleets must meet the latency target")
+	}
+}
+
+func TestProvisionMonotoneProperty(t *testing.T) {
+	g := DefaultGenerator()
+	g.MeanRate = 10
+	jobs, err := g.Trace(900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More servers never worsen P99.
+	f := func(a, b uint8) bool {
+		n1 := 1 + int(a%60)
+		n2 := 1 + int(b%60)
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		r1, err1 := SimulateFleet(jobs, n1, 1)
+		r2, err2 := SimulateFleet(jobs, n2, 1)
+		return err1 == nil && err2 == nil && r2.P99WaitSec <= r1.P99WaitSec+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateFleetErrors(t *testing.T) {
+	if _, err := SimulateFleet(nil, 0, 1); err == nil {
+		t.Error("zero servers should fail")
+	}
+	if _, err := SimulateFleet(nil, 1, 0); err == nil {
+		t.Error("zero speedup should fail")
+	}
+	r, err := SimulateFleet(nil, 3, 1)
+	if err != nil || r.Completed != 0 {
+		t.Error("empty trace should yield an empty result")
+	}
+}
+
+func TestProvisionErrors(t *testing.T) {
+	g := DefaultGenerator()
+	jobs, _ := g.Trace(300)
+	if _, err := ProvisionForLatency(jobs, 1, -1, 10); err == nil {
+		t.Error("negative target should fail")
+	}
+	if _, err := ProvisionForLatency(jobs, 1, 1, 0); err == nil {
+		t.Error("zero cap should fail")
+	}
+	// Impossible target within the cap.
+	if _, err := ProvisionForLatency(jobs, 0.001, 0.0001, 2); err == nil {
+		t.Error("unreachable target should fail")
+	}
+}

@@ -1,0 +1,22 @@
+# Tier-1 gate: everything CI requires before a merge.
+.PHONY: check
+check:
+	go build ./...
+	go vet ./...
+	go test -race ./...
+
+# Paper-table benchmarks plus a measured bitcoin sweep; the structured
+# run report (configs/sec, prune breakdown, frontier size, span
+# timings) lands in BENCH_1.json.
+.PHONY: bench
+bench:
+	go test -run '^$$' -bench . -benchtime 1x .
+	go run ./cmd/asiccloud design -app bitcoin -report-json BENCH_1.json
+
+.PHONY: test
+test:
+	go test ./...
+
+.PHONY: build
+build:
+	go build ./...

@@ -30,6 +30,7 @@ import (
 	"asiccloud/internal/datacenter"
 	"asiccloud/internal/figures"
 	"asiccloud/internal/nre"
+	"asiccloud/internal/obs"
 	"asiccloud/internal/server"
 	"asiccloud/internal/studies"
 	"asiccloud/internal/tco"
@@ -104,15 +105,16 @@ subcommands:
   compare     all four ASIC Clouds' TCO-optimal servers side by side`)
 }
 
-// exploreApp runs the standard sweep for a named application.
-func exploreApp(app string) (core.Result, string, error) {
+// exploreApp runs the standard sweep for a named application. rec may
+// be nil (no instrumentation).
+func exploreApp(app string, rec *obs.Recorder) (core.Result, string, error) {
 	model := tco.Default()
 	switch app {
 	case "bitcoin":
-		res, err := core.Explore(core.Sweep{Base: server.Default(appbitcoin.RCA())}, model)
+		res, err := core.Explore(core.Sweep{Base: server.Default(appbitcoin.RCA())}, model, rec)
 		return res, "GH/s", err
 	case "litecoin":
-		res, err := core.Explore(core.Sweep{Base: server.Default(applitecoin.RCA())}, model)
+		res, err := core.Explore(core.Sweep{Base: server.Default(applitecoin.RCA())}, model, rec)
 		return res, "MH/s", err
 	case "xcode":
 		base, err := appxcode.ServerConfig(1)
@@ -122,7 +124,7 @@ func exploreApp(app string) (core.Result, string, error) {
 		res, err := core.Explore(core.Sweep{
 			Base:        base,
 			DRAMPerASIC: []int{1, 2, 3, 4, 5, 6, 7, 8, 9},
-		}, model)
+		}, model, rec)
 		return res, "Kfps", err
 	default:
 		return core.Result{}, "", fmt.Errorf("unknown app %q (want bitcoin, litecoin, xcode or cnn)", app)
@@ -133,6 +135,7 @@ func cmdDesign(args []string) error {
 	fs := flag.NewFlagSet("design", flag.ExitOnError)
 	app := fs.String("app", "bitcoin", "application: bitcoin, litecoin, xcode, cnn")
 	verbose := fs.Bool("v", false, "print the TCO-optimal server's full datasheet")
+	o := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,7 +153,11 @@ func cmdDesign(args []string) error {
 			cost.Shape, cost.Systems, cost.Eval.WattsPerOp, cost.Eval.DollarsPerOp, cost.TCOPerOp())
 		return nil
 	}
-	res, _, err := exploreApp(*app)
+	rec, err := o.begin()
+	if err != nil {
+		return err
+	}
+	res, _, err := exploreApp(*app, rec)
 	if err != nil {
 		return err
 	}
@@ -162,17 +169,22 @@ func cmdDesign(args []string) error {
 		fmt.Println()
 		fmt.Print(res.TCOOptimal.Report())
 	}
-	return nil
+	return o.finish(&res)
 }
 
 func cmdPareto(args []string) error {
 	fs := flag.NewFlagSet("pareto", flag.ExitOnError)
 	app := fs.String("app", "bitcoin", "application: bitcoin, litecoin, xcode")
 	n := fs.Int("n", 20, "maximum frontier points to print")
+	o := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, unit, err := exploreApp(*app)
+	rec, err := o.begin()
+	if err != nil {
+		return err
+	}
+	res, unit, err := exploreApp(*app, rec)
 	if err != nil {
 		return err
 	}
@@ -188,7 +200,7 @@ func cmdPareto(args []string) error {
 			p.WattsPerOp, p.DollarsPerOp, p.Config.Voltage,
 			p.Config.ChipsPerLane, p.DieArea, p.TCOPerOp())
 	}
-	return nil
+	return o.finish(&res)
 }
 
 func cmdCustom(args []string) error {
@@ -200,6 +212,7 @@ func cmdCustom(args []string) error {
 	unit := fs.String("unit", "ops/s", "performance unit label")
 	leak := fs.Float64("leak", 0.03, "leakage fraction of nominal power")
 	sram := fs.Float64("sram", 0, "SRAM power fraction (separate 0.9 V rail)")
+	o := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -221,14 +234,18 @@ func cmdCustom(args []string) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
-	res, err := core.Explore(core.Sweep{Base: server.Default(spec)}, tco.Default())
+	rec, err := o.begin()
+	if err != nil {
+		return err
+	}
+	res, err := core.Explore(core.Sweep{Base: server.Default(spec)}, tco.Default(), rec)
 	if err != nil {
 		return err
 	}
 	fmt.Println("energy-optimal:", res.EnergyOptimal.Describe())
 	fmt.Println("TCO-optimal:   ", res.TCOOptimal.Describe())
 	fmt.Println("cost-optimal:  ", res.CostOptimal.Describe())
-	return nil
+	return o.finish(&res)
 }
 
 func cmdLayouts() error {
@@ -289,7 +306,7 @@ func cmdDeploy(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, unit, err := exploreApp(*app)
+	res, unit, err := exploreApp(*app, nil)
 	if err != nil {
 		return err
 	}
@@ -497,7 +514,7 @@ func cmdEconomics(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, _, err := exploreApp("bitcoin")
+	res, _, err := exploreApp("bitcoin", nil)
 	if err != nil {
 		return err
 	}
@@ -540,7 +557,7 @@ func cmdCompare() error {
 			name, unit, perf, w, cost, dpo, wpo, tco)
 	}
 	for _, app := range []string{"bitcoin", "litecoin", "xcode"} {
-		res, unit, err := exploreApp(app)
+		res, unit, err := exploreApp(app, nil)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"asiccloud/internal/core"
+	"asiccloud/internal/obs"
+)
+
+// obsOpts carries the shared observability flags every sweep-running
+// subcommand registers: a metrics/pprof/expvar HTTP endpoint, span
+// trace printing, CPU profiling, and JSON run-report output.
+type obsOpts struct {
+	metricsAddr string
+	trace       bool
+	cpuprofile  string
+	reportJSON  string
+
+	command string
+	rec     *obs.Recorder
+	cpuFile *os.File
+}
+
+// registerObsFlags adds the observability flags to a subcommand's
+// flag set.
+func registerObsFlags(fs *flag.FlagSet) *obsOpts {
+	o := &obsOpts{command: fs.Name()}
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "",
+		"serve Prometheus /metrics, expvar and pprof on this address (e.g. :9090)")
+	fs.BoolVar(&o.trace, "trace", false,
+		"print the span trace and run report when the command finishes")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "",
+		"write a CPU profile to this file")
+	fs.StringVar(&o.reportJSON, "report-json", "",
+		"write the structured run report as JSON to this file")
+	return o
+}
+
+func (o *obsOpts) active() bool {
+	return o.metricsAddr != "" || o.trace || o.cpuprofile != "" || o.reportJSON != ""
+}
+
+// begin builds the recorder, starts the exposition endpoint and CPU
+// profile. It returns the recorder to thread into core.Explore (nil
+// when no observability flag is set, keeping the default path free).
+func (o *obsOpts) begin() (*obs.Recorder, error) {
+	if !o.active() {
+		return nil, nil
+	}
+	o.rec = obs.NewRecorder()
+	if o.metricsAddr != "" {
+		_, addr, err := obs.Serve(o.metricsAddr, o.rec.Registry())
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "asiccloud: metrics on http://%s/metrics\n", addr)
+	}
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		o.cpuFile = f
+	}
+	return o.rec, nil
+}
+
+// finish stops profiling, prints the run report (and, with -trace, the
+// span tree), and writes the JSON report. res may be nil for commands
+// that produced no exploration result.
+func (o *obsOpts) finish(res *core.Result) error {
+	if !o.active() {
+		return nil
+	}
+	if o.cpuFile != nil {
+		pprof.StopCPUProfile()
+		name := o.cpuFile.Name()
+		if err := o.cpuFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "asiccloud: CPU profile written to %s\n", name)
+	}
+	report := obs.NewReport(o.command, o.rec)
+	if res != nil {
+		elapsed := time.Since(o.rec.Start()).Seconds()
+		e := &obs.ExploreReport{
+			Generated:    res.Pruned.Generated,
+			Feasible:     res.Pruned.Feasible,
+			Pruned:       res.Pruned.Reasons,
+			FrontierSize: len(res.Frontier),
+		}
+		if elapsed > 0 {
+			e.ConfigsPerSec = float64(e.Generated) / elapsed
+		}
+		report.Explore = e
+	}
+	if o.trace {
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprint(os.Stderr, strings.TrimRight(o.rec.TraceTree(), "\n")+"\n")
+	}
+	fmt.Fprintln(os.Stderr)
+	fmt.Fprint(os.Stderr, report.Text())
+	if o.reportJSON != "" {
+		if err := report.WriteJSONFile(o.reportJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "asiccloud: run report written to %s\n", o.reportJSON)
+	}
+	return nil
+}

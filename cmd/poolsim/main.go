@@ -8,6 +8,8 @@
 // Usage:
 //
 //	poolsim [-workers 4] [-jobs 64] [-range 4096] [-bits 0x2000ffff]
+//	        [-metrics-addr :9090] [-trace] [-cpuprofile cpu.out]
+//	        [-report-json report.json] [-lease 5s]
 package main
 
 import (
@@ -18,10 +20,13 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"runtime/pprof"
 	"time"
 
 	"asiccloud/internal/apps/bitcoin"
 	"asiccloud/internal/cloud"
+	"asiccloud/internal/obs"
 )
 
 func main() {
@@ -31,7 +36,35 @@ func main() {
 	jobs := flag.Int("jobs", 64, "nonce-range jobs to distribute")
 	rangeSize := flag.Uint64("range", 4096, "nonces per job")
 	bits := flag.Uint("bits", 0x2000ffff, "compact difficulty target")
+	lease := flag.Duration("lease", 5*time.Second, "job lease before requeue (0 disables)")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve Prometheus /metrics, expvar and pprof on this address (e.g. :9090)")
+	trace := flag.Bool("trace", false, "print the span trace with the end-of-run report")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	reportJSON := flag.String("report-json", "", "write the structured run report as JSON to this file")
 	flag.Parse()
+
+	var rec *obs.Recorder
+	if *metricsAddr != "" || *trace || *cpuprofile != "" || *reportJSON != "" {
+		rec = obs.NewRecorder()
+	}
+	if *metricsAddr != "" {
+		_, addr, err := obs.Serve(*metricsAddr, rec.Registry())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", addr)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	header := bitcoin.Header{
 		Version: 2,
@@ -52,6 +85,10 @@ func main() {
 		jobList[i] = cloud.Job{ID: uint64(i + 1), Payload: payload}
 	}
 	pool := cloud.NewPool(jobList)
+	pool.Instrument(rec)
+	if *lease > 0 {
+		pool.SetLeaseDuration(*lease)
+	}
 
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -82,10 +119,13 @@ func main() {
 	}
 
 	begin := time.Now()
+	rootSpan := rec.Span("poolsim")
+	fleetSpan := rootSpan.Child("fleet")
 	total, err := cloud.RunFleet(ctx, l.Addr().String(), "miner", *workers, handler)
 	if err != nil {
 		log.Print(err)
 	}
+	fleetSpan.End()
 	elapsed := time.Since(begin)
 	fmt.Printf("fleet of %d miners processed %d jobs\n", *workers, total)
 
@@ -96,7 +136,9 @@ func main() {
 		totalHashes/elapsed.Seconds()/1e6)
 
 	// Verify every share.
+	verifySpan := rootSpan.Child("verify_shares")
 	verified := 0
+loop:
 	for {
 		select {
 		case r := <-pool.Results():
@@ -112,7 +154,25 @@ func main() {
 			verified++
 		default:
 			fmt.Printf("%d shares verified against the target\n", verified)
-			return
+			break loop
+		}
+	}
+	verifySpan.End()
+	rootSpan.End()
+
+	if rec != nil {
+		report := obs.NewReport("poolsim", rec)
+		if *trace {
+			fmt.Fprintln(os.Stderr)
+			fmt.Fprint(os.Stderr, rec.TraceTree())
+		}
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprint(os.Stderr, report.Text())
+		if *reportJSON != "" {
+			if err := report.WriteJSONFile(*reportJSON); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "run report written to %s\n", *reportJSON)
 		}
 	}
 }

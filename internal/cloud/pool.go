@@ -21,6 +21,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"asiccloud/internal/obs"
 )
 
 // Job is one independent unit of work.
@@ -47,11 +49,29 @@ type message struct {
 
 // Stats summarizes pool progress.
 type Stats struct {
-	JobsQueued    int
-	JobsDone      int
-	JobsFailed    int
-	JobsRequeued  int
+	JobsQueued int
+	JobsDone   int
+	JobsFailed int
+	// JobsRequeued counts every return of an issued job to the pending
+	// queue, whether from a lapsed lease or a connection that died
+	// holding the job.
+	JobsRequeued int
+	// JobsExpired counts the lease-deadline subset of requeues.
+	JobsExpired   int
 	WorkerResults map[string]int
+}
+
+// poolMetrics holds the pool's obs handles. All fields are nil until
+// Instrument is called; the obs types are nil-safe, so the hot paths
+// update them unconditionally.
+type poolMetrics struct {
+	latency  *obs.Histogram // seconds from job issue to result
+	requeued *obs.Counter
+	expired  *obs.Counter
+	done     *obs.Counter
+	failed   *obs.Counter
+	inflight *obs.Gauge // jobs issued and not yet resolved or requeued
+	queued   *obs.Gauge // jobs waiting in the pending queue
 }
 
 // lease tracks a job handed to a worker that has not reported back.
@@ -66,7 +86,9 @@ type Pool struct {
 	pending []Job
 	leases  map[uint64]lease
 	done    map[uint64]bool
+	issued  map[uint64]time.Time // last hand-out time of outstanding jobs
 	stats   Stats
+	met     poolMetrics
 	results chan Result
 	closed  bool
 	// leaseDuration bounds how long a worker may hold a job before it
@@ -82,12 +104,32 @@ func NewPool(jobs []Job) *Pool {
 		pending: append([]Job(nil), jobs...),
 		leases:  make(map[uint64]lease),
 		done:    make(map[uint64]bool),
+		issued:  make(map[uint64]time.Time),
 		results: make(chan Result, len(jobs)+16),
 		now:     time.Now,
 	}
 	p.stats.JobsQueued = len(jobs)
 	p.stats.WorkerResults = make(map[string]int)
 	return p
+}
+
+// Instrument attaches an obs recorder: job latency histograms
+// (asiccloud_pool_job_seconds, issue → result), lease-expiry and
+// requeue counters, done/failed counters, and in-flight/queued gauges.
+// Call before Serve; a nil recorder leaves the pool un-instrumented.
+func (p *Pool) Instrument(rec *obs.Recorder) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.met = poolMetrics{
+		latency:  rec.Histogram("asiccloud_pool_job_seconds", nil),
+		requeued: rec.Counter("asiccloud_pool_requeued_total"),
+		expired:  rec.Counter("asiccloud_pool_lease_expired_total"),
+		done:     rec.Counter("asiccloud_pool_jobs_done_total"),
+		failed:   rec.Counter("asiccloud_pool_jobs_failed_total"),
+		inflight: rec.Gauge("asiccloud_pool_inflight_jobs"),
+		queued:   rec.Gauge("asiccloud_pool_queued_jobs"),
+	}
+	p.met.queued.Set(float64(len(p.pending)))
 }
 
 // SetLeaseDuration enables work recovery: a job not answered within d
@@ -109,10 +151,30 @@ func (p *Pool) reapExpiredLocked() {
 	for id, l := range p.leases {
 		if now.After(l.deadline) {
 			delete(p.leases, id)
+			delete(p.issued, id)
 			p.pending = append(p.pending, l.job)
 			p.stats.JobsRequeued++
+			p.stats.JobsExpired++
+			p.met.expired.Inc()
+			p.met.requeued.Inc()
+			p.met.inflight.Add(-1)
+			p.met.queued.Set(float64(len(p.pending)))
 		}
 	}
+}
+
+// requeue returns a job whose connection died before it could be
+// answered to the pending queue.
+func (p *Pool) requeue(j Job) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.leases, j.ID)
+	delete(p.issued, j.ID)
+	p.pending = append(p.pending, j)
+	p.stats.JobsRequeued++
+	p.met.requeued.Inc()
+	p.met.inflight.Add(-1)
+	p.met.queued.Set(float64(len(p.pending)))
 }
 
 // Add enqueues another job. It fails once the pool has been drained and
@@ -125,6 +187,7 @@ func (p *Pool) Add(j Job) error {
 	}
 	p.pending = append(p.pending, j)
 	p.stats.JobsQueued++
+	p.met.queued.Set(float64(len(p.pending)))
 	return nil
 }
 
@@ -143,8 +206,14 @@ func (p *Pool) next() (Job, bool) {
 		if p.leaseDuration > 0 {
 			p.leases[j.ID] = lease{job: j, deadline: p.now().Add(p.leaseDuration)}
 		}
+		if _, outstanding := p.issued[j.ID]; !outstanding {
+			p.met.inflight.Add(1)
+		}
+		p.issued[j.ID] = p.now()
+		p.met.queued.Set(float64(len(p.pending)))
 		return j, true
 	}
+	p.met.queued.Set(0)
 	return Job{}, false
 }
 
@@ -157,10 +226,17 @@ func (p *Pool) record(r Result) {
 	}
 	p.done[r.JobID] = true
 	delete(p.leases, r.JobID)
+	if issuedAt, ok := p.issued[r.JobID]; ok {
+		p.met.latency.Observe(p.now().Sub(issuedAt).Seconds())
+		p.met.inflight.Add(-1)
+		delete(p.issued, r.JobID)
+	}
 	if r.Err == "" {
 		p.stats.JobsDone++
+		p.met.done.Inc()
 	} else {
 		p.stats.JobsFailed++
+		p.met.failed.Inc()
 	}
 	p.stats.WorkerResults[r.Worker]++
 	select {
@@ -244,10 +320,7 @@ func (p *Pool) serveConn(conn net.Conn) {
 			}
 			if err := enc.Encode(message{Type: "job", Job: &j}); err != nil {
 				// Connection died holding a job: requeue it.
-				p.mu.Lock()
-				delete(p.leases, j.ID)
-				p.pending = append(p.pending, j)
-				p.mu.Unlock()
+				p.requeue(j)
 				return
 			}
 		case "result":

@@ -15,9 +15,13 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"asiccloud/internal/dram"
+	"asiccloud/internal/obs"
 	"asiccloud/internal/pareto"
 	"asiccloud/internal/server"
 	"asiccloud/internal/tco"
@@ -67,8 +71,14 @@ func DefaultChipsPerLane() []int {
 }
 
 // VoltageGrid returns voltages from lo to hi inclusive in 0.01 V steps.
+// Invalid ranges yield nil rather than a bogus grid: an inverted range
+// (hi < lo) and negative endpoints are both rejected — operating
+// voltages are physical quantities, and the paper's grid starts at
+// 0.40 V. Explore reports a clear error when its voltage grid comes out
+// empty, so a nil return surfaces immediately instead of silently
+// shrinking the design space.
 func VoltageGrid(lo, hi float64) []float64 {
-	if hi < lo {
+	if hi < lo || lo < 0 || hi < 0 {
 		return nil
 	}
 	var out []float64
@@ -89,6 +99,84 @@ type Point struct {
 // server lifetime.
 func (p Point) TCOPerOp() float64 { return p.TCO.Total() }
 
+// Prune reasons: why a generated candidate configuration was rejected
+// before reaching the feasible set. These are the label values of the
+// asiccloud_explore_pruned_total counter and the keys of
+// PruneSummary.Reasons.
+const (
+	// PruneQuantization: the silicon-per-lane target divided across the
+	// chips rounds below one RCA per chip.
+	PruneQuantization = "sub_rca_quantization"
+	// PruneDRAM: dram.NewSubsystem rejected the DRAM complement.
+	PruneDRAM = "dram_subsystem_error"
+	// PruneThermal: no heat sink cools the geometry at any voltage, or
+	// the chip exceeds the cooling limit at this voltage and above.
+	PruneThermal = "thermal_infeasible"
+	// PruneEval: server.EvaluateWithPlan failed for a non-thermal
+	// reason (power delivery, packaging, voltage floor, ...).
+	PruneEval = "eval_error"
+)
+
+// PruneSummary accounts for every candidate configuration the sweep
+// generated: Generated == Feasible + sum of Reasons, exactly. A
+// configuration is one (geometry, stacking, voltage) triple.
+type PruneSummary struct {
+	// Generated counts unique candidate configurations entering the
+	// evaluation pipeline (duplicate geometries are de-duplicated
+	// before generation and tracked separately in Duplicates).
+	Generated int64 `json:"generated"`
+	// Feasible counts configurations that evaluated successfully.
+	Feasible int64 `json:"feasible"`
+	// Reasons breaks the pruned remainder down by cause.
+	Reasons map[string]int64 `json:"reasons"`
+	// Duplicates counts geometry grid cells skipped because another
+	// silicon/chips cell quantized to the same (RCAs, chips, DRAM).
+	Duplicates int64 `json:"duplicates"`
+}
+
+// PrunedTotal sums the per-reason counts.
+func (s PruneSummary) PrunedTotal() int64 {
+	var n int64
+	for _, v := range s.Reasons {
+		n += v
+	}
+	return n
+}
+
+func (s PruneSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "generated %d, feasible %d", s.Generated, s.Feasible)
+	keys := make([]string, 0, len(s.Reasons))
+	for k := range s.Reasons {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, ", %s=%d", k, s.Reasons[k])
+	}
+	return b.String()
+}
+
+func (s *PruneSummary) add(reason string, n int64) {
+	if n <= 0 {
+		return
+	}
+	if s.Reasons == nil {
+		s.Reasons = make(map[string]int64)
+	}
+	s.Reasons[reason] += n
+}
+
+// merge folds a worker-local summary into s.
+func (s *PruneSummary) merge(o PruneSummary) {
+	s.Generated += o.Generated
+	s.Feasible += o.Feasible
+	s.Duplicates += o.Duplicates
+	for k, v := range o.Reasons {
+		s.add(k, v)
+	}
+}
+
 // Result of a design-space exploration.
 type Result struct {
 	// Points holds every feasible evaluated design.
@@ -101,10 +189,53 @@ type Result struct {
 	EnergyOptimal Point
 	CostOptimal   Point
 	TCOOptimal    Point
+	// Pruned accounts for the whole generated space: why each
+	// infeasible candidate was rejected. It is populated even when
+	// Explore returns an error, so "empty design space" failures report
+	// counts per reason instead of a bare message.
+	Pruned PruneSummary
+}
+
+// exploreCounters caches the recorder's counter handles so the sweep's
+// hot loop never takes the registry lock. All fields are nil (no-op)
+// when no recorder is attached.
+type exploreCounters struct {
+	configs    *obs.Counter
+	feasible   *obs.Counter
+	thermal    *obs.Counter
+	dramErr    *obs.Counter
+	evalErr    *obs.Counter
+	quantized  *obs.Counter
+	duplicates *obs.Counter
+}
+
+func newExploreCounters(rec *obs.Recorder) exploreCounters {
+	reg := rec.Registry()
+	reg.SetHelp("asiccloud_explore_configs_total",
+		"candidate (geometry, stacking, voltage) configurations generated by the sweep")
+	reg.SetHelp("asiccloud_explore_pruned_total",
+		"configurations rejected before the feasible set, by reason")
+	return exploreCounters{
+		configs:    rec.Counter("asiccloud_explore_configs_total"),
+		feasible:   rec.Counter("asiccloud_explore_feasible_total"),
+		thermal:    rec.Counter("asiccloud_explore_pruned_total", "reason", PruneThermal),
+		dramErr:    rec.Counter("asiccloud_explore_pruned_total", "reason", PruneDRAM),
+		evalErr:    rec.Counter("asiccloud_explore_pruned_total", "reason", PruneEval),
+		quantized:  rec.Counter("asiccloud_explore_pruned_total", "reason", PruneQuantization),
+		duplicates: rec.Counter("asiccloud_explore_duplicate_geometries_total"),
+	}
 }
 
 // Explore runs the brute-force search in parallel and summarizes it.
-func Explore(sweep Sweep, model tco.Model) (Result, error) {
+// An optional obs.Recorder (at most one; nil-safe no-op by default)
+// receives per-phase spans (grid build, sweep, Pareto extraction),
+// prune-reason counters, and per-worker utilization gauges, so existing
+// callers are untouched while instrumented ones see the whole search.
+func Explore(sweep Sweep, model tco.Model, recorder ...*obs.Recorder) (Result, error) {
+	var rec *obs.Recorder
+	if len(recorder) > 0 {
+		rec = recorder[0]
+	}
 	if err := model.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -112,9 +243,20 @@ func Explore(sweep Sweep, model tco.Model) (Result, error) {
 		return Result{}, err
 	}
 
+	root := rec.Span("explore")
+	defer root.End()
+	ctr := newExploreCounters(rec)
+
+	gridSpan := root.Child("grid_build")
 	voltages := sweep.Voltages
 	if len(voltages) == 0 {
 		voltages = VoltageGrid(sweep.Base.RCA.MinVoltage(), sweep.Base.RCA.MaxVoltage())
+	}
+	if len(voltages) == 0 {
+		gridSpan.End()
+		return Result{}, fmt.Errorf(
+			"core: empty voltage grid (RCA voltage range %.2f..%.2f V; need 0 <= lo <= hi)",
+			sweep.Base.RCA.MinVoltage(), sweep.Base.RCA.MaxVoltage())
 	}
 	silicon := sweep.SiliconPerLane
 	if len(silicon) == 0 {
@@ -128,6 +270,12 @@ func Explore(sweep Sweep, model tco.Model) (Result, error) {
 	if len(drams) == 0 {
 		drams = []int{0}
 	}
+	stackedOptions := []bool{false}
+	if sweep.Stacked {
+		stackedOptions = append(stackedOptions, true)
+	}
+	// One geometry spawns this many candidate configurations.
+	perGeom := int64(len(stackedOptions)) * int64(len(voltages))
 
 	// Build the geometry work list, de-duplicating silicon targets that
 	// quantize to the same RCAs per chip.
@@ -136,32 +284,43 @@ func Explore(sweep Sweep, model tco.Model) (Result, error) {
 		chipsLane   int
 		dramPerASIC int
 	}
+	var summary PruneSummary
 	seen := make(map[geom]bool)
 	var work []geom
 	for _, sil := range silicon {
 		for _, n := range chips {
 			r := int(math.Round(sil / float64(n) / sweep.Base.RCA.Area))
 			if r < 1 {
+				// The whole (silicon, chips) cell — every DRAM count,
+				// stacking option and voltage — dies to quantization.
+				cell := int64(len(drams)) * perGeom
+				summary.Generated += cell
+				summary.add(PruneQuantization, cell)
 				continue
 			}
 			for _, d := range drams {
 				g := geom{rcasPerChip: r, chipsLane: n, dramPerASIC: d}
-				if !seen[g] {
-					seen[g] = true
-					work = append(work, g)
+				if seen[g] {
+					summary.Duplicates++
+					continue
 				}
+				seen[g] = true
+				work = append(work, g)
 			}
 		}
 	}
+	summary.Generated += int64(len(work)) * perGeom
+	ctr.configs.Add(summary.Generated)
+	ctr.quantized.Add(summary.Reasons[PruneQuantization])
+	ctr.duplicates.Add(summary.Duplicates)
+	gridSpan.End()
 	if len(work) == 0 {
-		return Result{}, errors.New("core: empty design space")
+		return Result{Pruned: summary}, fmt.Errorf(
+			"core: empty design space: every silicon/chips combination quantizes below one RCA per chip (%s)",
+			summary)
 	}
 
-	stackedOptions := []bool{false}
-	if sweep.Stacked {
-		stackedOptions = append(stackedOptions, true)
-	}
-
+	sweepSpan := root.Child("sweep")
 	var (
 		mu     sync.Mutex
 		points []Point
@@ -171,16 +330,25 @@ func Explore(sweep Sweep, model tco.Model) (Result, error) {
 	workers := runtime.GOMAXPROCS(0)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			var local []Point
+			var (
+				local      []Point
+				localSum   PruneSummary
+				workerFrom = time.Now()
+				busy       time.Duration
+			)
 			for g := range workCh {
+				geomFrom := time.Now()
 				cfg := sweep.Base
 				cfg.RCAsPerChip = g.rcasPerChip
 				cfg.ChipsPerLane = g.chipsLane
 				if g.dramPerASIC > 0 {
 					sub, err := dram.NewSubsystem(cfg.DRAM.Device.Kind, g.dramPerASIC)
 					if err != nil {
+						localSum.add(PruneDRAM, perGeom)
+						ctr.dramErr.Add(perGeom)
+						busy += time.Since(geomFrom)
 						continue
 					}
 					cfg.DRAM = sub
@@ -189,42 +357,62 @@ func Explore(sweep Sweep, model tco.Model) (Result, error) {
 				}
 				plan, err := server.ThermalPlan(cfg)
 				if err != nil {
-					continue // geometry does not fit at any voltage
+					// Geometry does not fit at any voltage.
+					localSum.add(PruneThermal, perGeom)
+					ctr.thermal.Add(perGeom)
+					busy += time.Since(geomFrom)
+					continue
 				}
 				for _, stacked := range stackedOptions {
 					cfg.Stacked = stacked
-					for _, v := range voltages {
+					for i, v := range voltages {
 						cfg.Voltage = v
 						ev, err := server.EvaluateWithPlan(cfg, plan)
 						if err != nil {
 							if errors.Is(err, server.ErrThermal) {
-								// Chip heat grows monotonically
-								// with voltage: all higher
-								// voltages fail too.
+								// Chip heat grows monotonically with
+								// voltage: all higher voltages fail
+								// too, so prune the rest of the grid.
+								rest := int64(len(voltages) - i)
+								localSum.add(PruneThermal, rest)
+								ctr.thermal.Add(rest)
 								break
 							}
+							localSum.add(PruneEval, 1)
+							ctr.evalErr.Inc()
 							continue
 						}
 						b := model.Of(ev.DollarsPerOp, ev.WattsPerOp)
 						local = append(local, Point{Evaluation: ev, TCO: b})
+						localSum.Feasible++
+						ctr.feasible.Inc()
 					}
 				}
+				busy += time.Since(geomFrom)
+			}
+			if total := time.Since(workerFrom); total > 0 {
+				rec.Gauge("asiccloud_explore_worker_utilization",
+					"worker", strconv.Itoa(worker)).Set(busy.Seconds() / total.Seconds())
 			}
 			mu.Lock()
 			points = append(points, local...)
+			summary.merge(localSum)
 			mu.Unlock()
-		}()
+		}(w)
 	}
 	for _, g := range work {
 		workCh <- g
 	}
 	close(workCh)
 	wg.Wait()
+	sweepSpan.End()
 
 	if len(points) == 0 {
-		return Result{}, errors.New("core: no feasible design point in the swept space")
+		return Result{Pruned: summary}, fmt.Errorf(
+			"core: no feasible design point in the swept space (%s)", summary)
 	}
 
+	paretoSpan := root.Child("pareto")
 	// Deterministic order regardless of scheduling.
 	sort.Slice(points, func(i, j int) bool {
 		a, b := points[i], points[j]
@@ -237,7 +425,7 @@ func Explore(sweep Sweep, model tco.Model) (Result, error) {
 		return a.Config.Voltage < b.Config.Voltage
 	})
 
-	res := Result{Points: points}
+	res := Result{Points: points, Pruned: summary}
 	fr := pareto.Frontier(points,
 		func(p Point) float64 { return p.DollarsPerOp },
 		func(p Point) float64 { return p.WattsPerOp })
@@ -252,6 +440,8 @@ func Explore(sweep Sweep, model tco.Model) (Result, error) {
 	if i := pareto.ArgMin(points, func(p Point) float64 { return p.TCOPerOp() }); i >= 0 {
 		res.TCOOptimal = points[i]
 	}
+	paretoSpan.End()
+	rec.Gauge("asiccloud_explore_frontier_size").Set(float64(len(res.Frontier)))
 	return res, nil
 }
 

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"asiccloud/internal/obs"
+	"asiccloud/internal/tco"
+)
+
+// TestPruneAccountingExact is the observability layer's core invariant:
+// every generated configuration is either feasible or pruned for
+// exactly one recorded reason, so the prune counts sum to
+// (generated − feasible) with no slack.
+func TestPruneAccountingExact(t *testing.T) {
+	for name, sweep := range map[string]Sweep{
+		"small":   smallSweep(),
+		"stacked": func() Sweep { s := smallSweep(); s.Stacked = true; return s }(),
+		"full":    {Base: smallSweep().Base},
+		"quantized": func() Sweep {
+			s := smallSweep()
+			// Include sub-RCA silicon targets so quantization pruning fires.
+			s.SiliconPerLane = append([]float64{0.1, 0.2}, s.SiliconPerLane...)
+			return s
+		}(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			rec := obs.NewRecorder()
+			res, err := Explore(sweep, tco.Default(), rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := res.Pruned
+			if s.Generated == 0 {
+				t.Fatal("no configurations generated")
+			}
+			if got := int64(len(res.Points)); got != s.Feasible {
+				t.Errorf("feasible %d != len(points) %d", s.Feasible, got)
+			}
+			if s.PrunedTotal() != s.Generated-s.Feasible {
+				t.Errorf("prune counts %d must sum to generated-feasible = %d (%s)",
+					s.PrunedTotal(), s.Generated-s.Feasible, s)
+			}
+			// The recorder's counters must agree with the summary.
+			reg := rec.Registry()
+			if got := reg.Counter("asiccloud_explore_configs_total").Value(); got != s.Generated {
+				t.Errorf("configs counter %d != generated %d", got, s.Generated)
+			}
+			if got := reg.Counter("asiccloud_explore_feasible_total").Value(); got != s.Feasible {
+				t.Errorf("feasible counter %d != feasible %d", got, s.Feasible)
+			}
+			var counted int64
+			for k, v := range reg.Counters() {
+				if strings.HasPrefix(k, "asiccloud_explore_pruned_total{") {
+					counted += v
+				}
+			}
+			if counted != s.PrunedTotal() {
+				t.Errorf("pruned counters %d != summary %d", counted, s.PrunedTotal())
+			}
+		})
+	}
+}
+
+func TestExploreSpansRecorded(t *testing.T) {
+	rec := obs.NewRecorder()
+	if _, err := Explore(smallSweep(), tco.Default(), rec); err != nil {
+		t.Fatal(err)
+	}
+	slow := rec.Slowest(5)
+	want := map[string]bool{
+		"explore": false, "explore/grid_build": false,
+		"explore/sweep": false, "explore/pareto": false,
+	}
+	for _, s := range slow {
+		if _, ok := want[s.Span]; ok {
+			want[s.Span] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("span %q missing from top-5 (%v)", k, slow)
+		}
+	}
+	// Worker utilization gauges exist and sit in [0, 1].
+	gauges := rec.Registry().Gauges()
+	n := 0
+	for k, v := range gauges {
+		if strings.HasPrefix(k, "asiccloud_explore_worker_utilization{") {
+			n++
+			if v < 0 || v > 1.000001 {
+				t.Errorf("utilization %s = %v out of [0,1]", k, v)
+			}
+		}
+	}
+	if n == 0 {
+		t.Error("no worker utilization gauges recorded")
+	}
+	if g := gauges["asiccloud_explore_frontier_size"]; g <= 0 {
+		t.Error("frontier size gauge not set")
+	}
+}
+
+// TestExploreNilRecorderUnchanged pins the compatibility contract: the
+// optional recorder defaults to a no-op and results are identical.
+func TestExploreNilRecorderUnchanged(t *testing.T) {
+	a, err := Explore(smallSweep(), tco.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Explore(smallSweep(), tco.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != len(b.Points) || a.TCOOptimal.TCOPerOp() != b.TCOOptimal.TCOPerOp() {
+		t.Error("nil recorder changed results")
+	}
+	if b.Pruned.Generated-b.Pruned.Feasible != b.Pruned.PrunedTotal() {
+		t.Error("accounting must hold without a recorder too")
+	}
+}
+
+// TestEmptySpaceErrorsExplainWhy covers the satellite bugfix: infeasible
+// sweeps report counts per prune reason instead of a bare message.
+func TestEmptySpaceErrorsExplainWhy(t *testing.T) {
+	sweep := smallSweep()
+	sweep.SiliconPerLane = []float64{0.1} // everything quantizes away
+	res, err := Explore(sweep, tco.Default())
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !strings.Contains(err.Error(), PruneQuantization) {
+		t.Errorf("error %q should name the prune reason", err)
+	}
+	if res.Pruned.Reasons[PruneQuantization] == 0 {
+		t.Error("Result.Pruned should carry the quantization counts")
+	}
+	if res.Pruned.Generated != res.Pruned.PrunedTotal() {
+		t.Errorf("all generated configs should be accounted as pruned: %s", res.Pruned)
+	}
+
+	// A sweep where geometry fits but nothing evaluates: huge chips.
+	sweep = smallSweep()
+	sweep.ChipsPerLane = []int{200}
+	res, err = Explore(sweep, tco.Default())
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if res.Pruned.PrunedTotal() != res.Pruned.Generated {
+		t.Errorf("infeasible space accounting broken: %s", res.Pruned)
+	}
+	if !strings.Contains(err.Error(), "generated") {
+		t.Errorf("error %q should embed the prune summary", err)
+	}
+}
+
+func TestVoltageGridRejectsNegative(t *testing.T) {
+	if g := VoltageGrid(-0.2, 0.5); g != nil {
+		t.Errorf("negative lo should yield nil, got %v", g)
+	}
+	if g := VoltageGrid(-0.5, -0.2); g != nil {
+		t.Errorf("negative range should yield nil, got %v", g)
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// published tracks every registry mounted on an HTTP handler so the
+// single process-wide expvar variable can snapshot all of them
+// (expvar.Publish panics on duplicate names, so it runs exactly once).
+var published struct {
+	once sync.Once
+	mu   sync.Mutex
+	regs []*Registry
+}
+
+func publishExpvar(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	published.mu.Lock()
+	for _, r := range published.regs {
+		if r == reg {
+			published.mu.Unlock()
+			return
+		}
+	}
+	published.regs = append(published.regs, reg)
+	published.mu.Unlock()
+
+	published.once.Do(func() {
+		expvar.Publish("asiccloud_metrics", expvar.Func(func() any {
+			published.mu.Lock()
+			regs := append([]*Registry(nil), published.regs...)
+			published.mu.Unlock()
+			out := map[string]any{}
+			for _, r := range regs {
+				for k, v := range r.Counters() {
+					out[k] = v
+				}
+				for k, v := range r.Gauges() {
+					out[k] = v
+				}
+				for k, v := range r.Histograms() {
+					out[k] = v
+				}
+			}
+			return out
+		}))
+	})
+}
+
+// Handler returns the exposition endpoint for a registry:
+//
+//	/metrics        Prometheus text format
+//	/debug/vars     expvar JSON (includes asiccloud_metrics)
+//	/debug/pprof/*  net/http/pprof profiles
+func Handler(reg *Registry) http.Handler {
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "asiccloud observability: /metrics /debug/vars /debug/pprof/")
+	})
+	return mux
+}
+
+// Serve mounts Handler(reg) on addr in a background goroutine and
+// returns the server (for Shutdown/Close) and the bound address, which
+// is useful when addr ends in ":0".
+func Serve(addr string, reg *Registry) (*http.Server, net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(l) }()
+	return srv, l.Addr(), nil
+}

@@ -1,0 +1,76 @@
+package obs
+
+import "time"
+
+// Recorder bundles a metrics registry with a span trace for one run of
+// an instrumented subsystem. A nil *Recorder is a valid no-op: every
+// method (and every metric or span it returns) is nil-safe, so
+// functions take an optional recorder without guarding call sites.
+type Recorder struct {
+	reg   *Registry
+	spans spanSet
+	start time.Time
+}
+
+// NewRecorder returns a recorder with a fresh registry.
+func NewRecorder() *Recorder {
+	return &Recorder{reg: NewRegistry(), start: time.Now()}
+}
+
+// Registry exposes the underlying registry (nil for a nil recorder),
+// e.g. to mount it on an HTTP exposition endpoint.
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Start returns when the recorder was created (zero for nil).
+func (r *Recorder) Start() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.start
+}
+
+// Counter returns the named counter from the recorder's registry.
+func (r *Recorder) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Counter(name, labels...)
+}
+
+// Gauge returns the named gauge from the recorder's registry.
+func (r *Recorder) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Gauge(name, labels...)
+}
+
+// Histogram returns the named histogram from the recorder's registry.
+func (r *Recorder) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.reg.Histogram(name, bounds, labels...)
+}
+
+// Span starts a root span.
+func (r *Recorder) Span(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.startSpan(name, 0)
+}
+
+func (r *Recorder) startSpan(path string, depth int) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{rec: r, path: path, depth: depth, start: time.Now()}
+	r.spans.add(s)
+	return s
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxSpans bounds how many finished spans a recorder retains; beyond it
+// spans still update metrics but are dropped from the trace (counted in
+// SpanTruncated).
+const maxSpans = 4096
+
+// Span is one timed region of work. Spans nest: children created with
+// Child carry a slash-separated path ("explore/sweep"). A Span is
+// created by Recorder.Span or Span.Child and finished with End; all
+// methods are nil-safe so instrumentation works with a nil Recorder.
+type Span struct {
+	rec   *Recorder
+	path  string
+	depth int
+	start time.Time
+
+	mu    sync.Mutex
+	ended bool
+	dur   time.Duration
+}
+
+// Child starts a nested span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.rec.startSpan(s.path+"/"+name, s.depth+1)
+}
+
+// End finishes the span, records its wall-clock duration as the gauge
+// asiccloud_span_seconds{span=path}, and returns the duration. Repeated
+// End calls keep the first duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	if s.ended {
+		d := s.dur
+		s.mu.Unlock()
+		return d
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	d := s.dur
+	s.mu.Unlock()
+	if s.rec != nil {
+		s.rec.Gauge("asiccloud_span_seconds", "span", s.path).Set(d.Seconds())
+		s.rec.Counter("asiccloud_spans_total", "span", s.path).Inc()
+	}
+	return d
+}
+
+// Duration returns the span's duration (0 until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+// Path returns the slash-separated span path.
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// SpanTiming is the report form of one finished span.
+type SpanTiming struct {
+	Span    string  `json:"span"`
+	Seconds float64 `json:"seconds"`
+}
+
+// spanSet holds the spans a recorder has handed out, in start order.
+type spanSet struct {
+	mu        sync.Mutex
+	spans     []*Span
+	truncated int
+}
+
+func (ss *spanSet) add(s *Span) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if len(ss.spans) >= maxSpans {
+		ss.truncated++
+		return
+	}
+	ss.spans = append(ss.spans, s)
+}
+
+// finished returns all ended spans.
+func (ss *spanSet) finished() []*Span {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	out := make([]*Span, 0, len(ss.spans))
+	for _, s := range ss.spans {
+		s.mu.Lock()
+		ended := s.ended
+		s.mu.Unlock()
+		if ended {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Slowest returns the n slowest finished spans, descending by duration.
+func (r *Recorder) Slowest(n int) []SpanTiming {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	spans := r.spans.finished()
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Duration() > spans[j].Duration() })
+	if len(spans) > n {
+		spans = spans[:n]
+	}
+	out := make([]SpanTiming, len(spans))
+	for i, s := range spans {
+		out[i] = SpanTiming{Span: s.path, Seconds: s.Duration().Seconds()}
+	}
+	return out
+}
+
+// TraceTree renders the finished spans as an indented tree in start
+// order, for the -trace CLI flag.
+func (r *Recorder) TraceTree() string {
+	if r == nil {
+		return ""
+	}
+	spans := r.spans.finished()
+	var b strings.Builder
+	for _, s := range spans {
+		name := s.path
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		fmt.Fprintf(&b, "%s%-*s %12.6fs\n",
+			strings.Repeat("  ", s.depth), 32-2*s.depth, name, s.Duration().Seconds())
+	}
+	return b.String()
+}

@@ -1,17 +1,24 @@
 # Tier-1 gate: everything CI requires before a merge.
 .PHONY: check
-check:
-	go build ./...
+check: build
 	go vet ./...
+	$(MAKE) lint
 	go test -race ./...
+
+# Domain-aware static analysis (unit discipline, float hygiene, error
+# propagation). Non-zero exit on any diagnostic; see README "Static
+# analysis" for the suppression syntax.
+.PHONY: lint
+lint:
+	go run ./cmd/asiclint ./...
 
 # Paper-table benchmarks plus a measured bitcoin sweep; the structured
 # run report (configs/sec, prune breakdown, frontier size, span
-# timings) lands in BENCH_1.json.
+# timings) lands in BENCH_2.json.
 .PHONY: bench
 bench:
 	go test -run '^$$' -bench . -benchtime 1x .
-	go run ./cmd/asiccloud design -app bitcoin -report-json BENCH_1.json
+	go run ./cmd/asiccloud design -app bitcoin -report-json BENCH_2.json
 
 .PHONY: test
 test:

@@ -440,7 +440,7 @@ func cmdProvision(args []string) error {
 	g.MeanRate = *rate
 	g.DiurnalSwing = *swing
 	g.MeanServiceSec = *service
-	jobs, err := g.Trace(*hours * 3600)
+	jobs, err := g.Trace(*hours * units.SecondsPerHour)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,94 @@
+// Command asiclint runs the repository's domain-aware static-analysis
+// suite: unit-conversion discipline (unitconv), float-comparison hygiene
+// (floatcmp), error propagation (droppederr) and unit documentation
+// (unitdoc). It is stdlib-only and offline — packages are parsed and
+// type-checked by internal/analysis without external tooling.
+//
+// Usage:
+//
+//	asiclint [-json] [-analyzers a,b] [-list] [patterns ...]
+//
+// Patterns are directories, optionally ending in /... (default ./...).
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load error.
+// Suppress a finding with a trailing or immediately preceding
+// "//lint:ignore analyzer reason" comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asiccloud/internal/analysis"
+	"asiccloud/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: asiclint [-json] [-analyzers a,b] [-list] [patterns ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := suite.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *names != "" {
+		picked, unknown := suite.ByName(strings.Split(*names, ","))
+		if unknown != "" {
+			fmt.Fprintf(os.Stderr, "asiclint: unknown analyzer %q\n", unknown)
+			return 2
+		}
+		analyzers = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asiclint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asiclint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asiclint:", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asiclint:", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, diags, cwd); err != nil {
+			fmt.Fprintln(os.Stderr, "asiclint:", err)
+			return 2
+		}
+	} else if err := analysis.WriteText(os.Stdout, diags, cwd); err != nil {
+		fmt.Fprintln(os.Stderr, "asiclint:", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

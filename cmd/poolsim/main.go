@@ -26,6 +26,7 @@ import (
 
 	"asiccloud/internal/apps/bitcoin"
 	"asiccloud/internal/cloud"
+	"asiccloud/internal/units"
 	"asiccloud/internal/obs"
 )
 
@@ -133,7 +134,7 @@ func main() {
 	totalHashes := float64(*jobs) * float64(*rangeSize)
 	fmt.Printf("\n%d shares found, %d dry ranges in %v (%.2f MH/s across the fleet)\n",
 		s.JobsDone, s.JobsFailed, elapsed.Round(time.Millisecond),
-		totalHashes/elapsed.Seconds()/1e6)
+		units.HsToMHs(totalHashes/elapsed.Seconds()))
 
 	// Verify every share.
 	verifySpan := rootSpan.Child("verify_shares")

@@ -12,6 +12,7 @@ import (
 
 	"asiccloud"
 	"asiccloud/internal/apps/bitcoin"
+	"asiccloud/internal/units"
 )
 
 func main() {
@@ -35,7 +36,7 @@ func main() {
 		hash := header.Hash()
 		fmt.Printf("mined a share: nonce %d, hash %x...\n", nonce, hash[28:])
 	}
-	fmt.Printf("this machine's software hashrate: %.2f MH/s\n\n", rate/1e6)
+	fmt.Printf("this machine's software hashrate: %.2f MH/s\n\n", units.HsToMHs(rate))
 
 	// --- 2. The network that motivates the cloud (Figure 1). ----------
 	samples, err := bitcoin.SimulateNetwork(
@@ -45,7 +46,7 @@ func main() {
 	}
 	last := samples[len(samples)-1]
 	fmt.Printf("simulated network after %.1f years: difficulty x%.3g, %.0f million GH/s\n",
-		last.Years, last.Difficulty, last.HashrateGH/1e6)
+		last.Years, last.Difficulty, last.HashrateGH/units.Million)
 	fmt.Printf("(the paper reports a 50-billion-fold ramp to ~575 million GH/s)\n\n")
 
 	// --- 3. The ASIC Cloud that serves it (Table 3). -------------------
@@ -65,7 +66,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("world-scale deployment: %d servers, %d racks, %.0f MW\n",
-		d.Servers, d.Racks, d.TotalPowerW/1e6)
+		d.Servers, d.Racks, units.WToMW(d.TotalPowerW))
 	fmt.Println("(the paper: 'the global power budget dedicated to ASIC Clouds ... is")
 	fmt.Println(" estimated by experts to be in the range of 300-500 megawatts')")
 }

@@ -11,6 +11,7 @@ import (
 
 	"asiccloud"
 	"asiccloud/internal/apps/cnn"
+	"asiccloud/internal/units"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 	}
 	same := true
 	for i := range mono.Data {
+		//lint:ignore floatcmp the partitioned schedule must match the monolithic one bit for bit
 		if mono.Data[i] != part.Output.Data[i] {
 			same = false
 			break
@@ -48,7 +50,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("one inference: %.1f MMACs, 64-node partition matches monolithic: %v\n",
-		float64(macs)/1e6, same)
+		float64(macs)/units.Million, same)
 	fmt.Printf("inter-node activation traffic: %.1f KB per inference\n\n",
 		float64(part.TrafficBytes)/1024)
 

@@ -12,6 +12,7 @@ import (
 	"log"
 
 	"asiccloud"
+	"asiccloud/internal/units"
 )
 
 func main() {
@@ -64,7 +65,7 @@ func main() {
 	fmt.Printf("  breakeven speedup:  %.2fx\n", decision.RequiredSpeedup)
 	fmt.Printf("  projected speedup:  %.0fx\n", decision.ProjectedSpeedup)
 	fmt.Printf("  two-for-two:        %v\n", decision.PassesTwoForTwo)
-	fmt.Printf("  projected savings:  $%.1fM over the horizon\n", decision.ProjectedSavings/1e6)
+	fmt.Printf("  projected savings:  $%.1fM over the horizon\n", decision.ProjectedSavings/units.Million)
 	if decision.PassesTwoForTwo && decision.PassesBreakeven {
 		fmt.Println("\nverdict: build the ASIC Cloud.")
 	} else {

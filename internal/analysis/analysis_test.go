@@ -1,0 +1,116 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"asiccloud/internal/analysis"
+)
+
+func sampleDiags() []analysis.Diagnostic {
+	return []analysis.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/mod/internal/thermal/lane.go", Line: 12, Column: 3},
+			Analyzer: "floatcmp",
+			Message:  "exact float comparison",
+		},
+		{
+			Pos:      token.Position{Filename: "/elsewhere/other.go", Line: 1, Column: 1},
+			Analyzer: "unitconv",
+			Message:  "magic literal",
+		},
+	}
+}
+
+func TestWriteTextRelativize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := analysis.WriteText(&buf, sampleDiags(), "/mod"); err != nil {
+		t.Fatal(err)
+	}
+	want := "internal/thermal/lane.go:12:3: floatcmp: exact float comparison\n" +
+		"/elsewhere/other.go:1:1: unitconv: magic literal\n"
+	if got := buf.String(); got != want {
+		t.Errorf("WriteText:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := analysis.WriteJSON(&buf, sampleDiags(), "/mod"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Count       int `json:"count"`
+		Diagnostics []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Count != 2 || len(doc.Diagnostics) != 2 {
+		t.Fatalf("want count 2 with 2 diagnostics, got %d with %d", doc.Count, len(doc.Diagnostics))
+	}
+	if doc.Diagnostics[0].File != "internal/thermal/lane.go" || doc.Diagnostics[0].Analyzer != "floatcmp" {
+		t.Errorf("first diagnostic mangled: %+v", doc.Diagnostics[0])
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := analysis.WriteJSON(&buf, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	// The diagnostics key must be an empty array, not null, so downstream
+	// tooling can always range over it.
+	if !strings.Contains(buf.String(), `"diagnostics": []`) {
+		t.Errorf("empty run should emit an empty array:\n%s", buf.String())
+	}
+}
+
+func TestLoaderResolvesModule(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if l.ModulePath != "asiccloud" {
+		t.Fatalf("module path = %q, want asiccloud", l.ModulePath)
+	}
+	pkgs, err := l.Load(l.ModuleRoot + "/internal/units")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "asiccloud/internal/units" {
+		t.Fatalf("loaded %d packages, first %v; want exactly asiccloud/internal/units", len(pkgs), pkgs)
+	}
+	pkg := pkgs[0]
+	if pkg.Pkg == nil || pkg.Pkg.Scope().Lookup("ApproxEqual") == nil {
+		t.Errorf("type information for units is missing ApproxEqual")
+	}
+	if len(pkg.Files) == 0 {
+		t.Errorf("no files recorded for units package")
+	}
+}
+
+func TestLoaderSkipsTestdata(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load(l.ModuleRoot + "/internal/analysis/...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Path, "testdata") {
+			t.Errorf("recursive load picked up fixture package %s", p.Path)
+		}
+	}
+}

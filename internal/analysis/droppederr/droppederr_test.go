@@ -1,0 +1,12 @@
+package droppederr_test
+
+import (
+	"testing"
+
+	"asiccloud/internal/analysis/atest"
+	"asiccloud/internal/analysis/droppederr"
+)
+
+func TestDroppedErr(t *testing.T) {
+	atest.Run(t, droppederr.Analyzer, "bad", atest.Config{})
+}

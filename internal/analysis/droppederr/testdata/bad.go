@@ -1,0 +1,33 @@
+// Package fixture exercises the droppederr analyzer: error returns lost
+// as bare statements, defers, go statements or _-discards are flagged,
+// while handled errors and the exempt fmt/in-memory-writer callees pass.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func value() (int, error) { return 0, nil }
+
+func drops(f *os.File) {
+	mayFail()       // flagged: bare statement
+	defer f.Close() // flagged: deferred call
+	go mayFail()    // flagged: go statement
+
+	v, _ := value() // flagged: tuple discard
+	_ = v           // fine: v is an int, not an error
+	_ = mayFail()   // flagged: positional discard
+
+	fmt.Println("ok") // exempt by contract
+	var sb strings.Builder
+	sb.WriteString("ok") // exempt by contract
+
+	if err := mayFail(); err != nil { // handled: fine
+		fmt.Println(err)
+	}
+}

@@ -1,0 +1,70 @@
+// Package floatcmp flags exact equality comparisons between float-typed
+// expressions.
+//
+// The explorer compares derived physical quantities (temperatures, watts,
+// TCO dollars) that have travelled through long chains of floating-point
+// arithmetic; `==` on such values silently depends on rounding behavior
+// and breaks under any reordering optimization. Outside test files, float
+// equality must either go through units.ApproxEqual / units.ApproxZero
+// with an explicit tolerance, or carry a //lint:ignore justification for
+// the rare exact sentinel check.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"asiccloud/internal/analysis"
+)
+
+// Analyzer is the floatcmp analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "flags == and != between float-typed expressions outside _test.go; " +
+		"use units.ApproxEqual / units.ApproxZero with an explicit tolerance",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) || !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			// A comparison whose value the compiler already folds to a
+			// constant (e.g. two untyped constants) cannot drift at run
+			// time; skip it.
+			if tv, ok := pass.Info.Types[be]; ok && tv.Value != nil {
+				return true
+			}
+			hint := "units.ApproxEqual"
+			if isZeroLiteral(be.X) || isZeroLiteral(be.Y) {
+				hint = "units.ApproxZero"
+			}
+			pass.Reportf(be.OpPos, "exact float comparison %s; use %s with an explicit tolerance", be.Op, hint)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	return lit.Value == "0" || lit.Value == "0.0" || lit.Value == "0."
+}

@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"asiccloud/internal/analysis/atest"
+	"asiccloud/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	atest.Run(t, floatcmp.Analyzer, "bad", atest.Config{})
+}

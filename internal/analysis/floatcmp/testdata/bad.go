@@ -1,0 +1,35 @@
+// Package fixture exercises the floatcmp analyzer: run-time float
+// equality is flagged (with an ApproxZero hint when one side is a zero
+// literal), while integer comparisons, compiler-folded constant
+// comparisons and justified //lint:ignore sites pass.
+package fixture
+
+type reading float64
+
+func compare(a, b float64, c float32, r reading, n int) bool {
+	if a == b { // flagged: ApproxEqual hint
+		return true
+	}
+	if a != 0 { // flagged: ApproxZero hint
+		return false
+	}
+	if 0.0 == b { // flagged: zero literal on the left
+		return true
+	}
+	if c != 1.5 { // flagged: float32 counts too
+		return false
+	}
+	if r == 2.5 { // flagged: named type with float underlying
+		return true
+	}
+	if n == 3 { // integers compare exactly: fine
+		return false
+	}
+	const x = 1.5
+	const y = 3.0 / 2.0
+	if x == y { // folded to a constant by the compiler: fine
+		return true
+	}
+	//lint:ignore floatcmp zero is this fixture's assigned sentinel
+	return a == 0
+}

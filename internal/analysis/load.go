@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package of the module under
+// analysis.
+type Package struct {
+	Path  string // import path, e.g. "asiccloud/internal/thermal"
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files only, with comments
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages of a single Go module without
+// any external tooling. Imports inside the module are resolved by loading
+// the corresponding directory recursively; all other imports (the standard
+// library) are resolved by compiling their GOROOT sources via go/importer's
+// "source" compiler, which works offline. Test files are ignored: the
+// analyzers in this repository deliberately exempt _test.go code.
+type Loader struct {
+	ModuleRoot string // absolute path of the directory containing go.mod
+	ModulePath string // module path declared in go.mod
+
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // cycle detection
+}
+
+// NewLoader creates a Loader for the module that contains dir, walking
+// upward until it finds go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file. The file format
+// is line-oriented; the module directive is always a single line.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Load resolves the given patterns to packages and type-checks each one.
+// A pattern is a directory path, optionally ending in "/..." to include
+// every package below it, interpreted relative to cwd. With no patterns it
+// loads the whole module. Results are sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{l.ModuleRoot + "/..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		if !recursive {
+			if hasGoFiles(abs) && !seen[abs] {
+				seen[abs] = true
+				dirs = append(dirs, abs)
+			}
+			continue
+		}
+		err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != abs && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) && !seen[path] {
+				seen[path] = true
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor maps a module-internal import path back to its directory.
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModulePath {
+		return l.ModuleRoot
+	}
+	rel := strings.TrimPrefix(path, l.ModulePath+"/")
+	return filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+}
+
+// loadDir parses and type-checks the package in dir, memoized by import
+// path.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Respect build constraints (//go:build lines, GOOS/GOARCH
+		// suffixes) so we analyze exactly what `go build` compiles.
+		if ok, err := ctx.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importerFunc(l.importFor(dir))}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Pkg: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importFor returns the import resolver used while type-checking a package
+// in dir: module-internal paths load recursively, everything else comes
+// from the standard library source importer.
+func (l *Loader) importFor(dir string) func(path string) (*types.Package, error) {
+	return func(path string) (*types.Package, error) {
+		if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+			pkg, err := l.loadDir(l.dirFor(path))
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Pkg, nil
+		}
+		return l.std.Import(path)
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// CheckSource parses and type-checks a single in-memory or on-disk set of
+// fixture files as one package with the given import path. It is the entry
+// point used by analyzer golden tests; fixtures may import the standard
+// library but nothing else.
+func CheckSource(pkgPath string, filenames []string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking fixture %s: %w", pkgPath, err)
+	}
+	dir := ""
+	if len(filenames) > 0 {
+		dir = filepath.Dir(filenames[0])
+	}
+	return &Package{Path: pkgPath, Dir: dir, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Run applies every analyzer whose Match accepts the package to each of
+// the given packages, then filters the combined findings through
+// //lint:ignore directives. Directives are validated in every loaded file,
+// so a stale or misspelled suppression is reported even when the analyzer
+// it names found nothing. Diagnostics come back sorted by file, line and
+// column.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers)+1)
+	known[lintName] = true
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	var dirs []directive
+	for _, pkg := range pkgs {
+		dirs = append(dirs, parseDirectives(pkg.Fset, pkg.Files)...)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	diags = applySuppression(diags, dirs, known)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// WriteText prints one diagnostic per line in file:line:col form, with
+// filenames rewritten relative to baseDir when possible (keeps output and
+// golden files stable across machines).
+func WriteText(w io.Writer, diags []Diagnostic, baseDir string) error {
+	for _, d := range diags {
+		name := relativize(d.Pos.Filename, baseDir)
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: %s: %s\n",
+			name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonDiagnostic is the stable wire form of a Diagnostic.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON emits the diagnostics as a single JSON document:
+// {"count": N, "diagnostics": [...]}.
+func WriteJSON(w io.Writer, diags []Diagnostic, baseDir string) error {
+	out := struct {
+		Count       int              `json:"count"`
+		Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	}{Count: len(diags), Diagnostics: []jsonDiagnostic{}}
+	for _, d := range diags {
+		out.Diagnostics = append(out.Diagnostics, jsonDiagnostic{
+			File:     relativize(d.Pos.Filename, baseDir),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func relativize(filename, baseDir string) string {
+	if baseDir == "" {
+		return filename
+	}
+	rel, err := filepath.Rel(baseDir, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filename
+	}
+	return rel
+}

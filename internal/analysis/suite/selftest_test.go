@@ -1,0 +1,68 @@
+package suite_test
+
+import (
+	"bytes"
+	"testing"
+
+	"asiccloud/internal/analysis"
+	"asiccloud/internal/analysis/suite"
+)
+
+// TestRepoIsLintClean runs the full asiclint suite over the whole module
+// and asserts zero diagnostics: the lint gate enforced by `make lint` is
+// also a test, so `go test ./...` alone keeps the tree clean. Violations
+// must be fixed or carry a //lint:ignore with a reason.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide type-check is slow; skipped with -short")
+	}
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load(l.ModuleRoot + "/...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, suite.Analyzers())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	if len(diags) > 0 {
+		var buf bytes.Buffer
+		if err := analysis.WriteText(&buf, diags, l.ModuleRoot); err != nil {
+			t.Fatalf("formatting diagnostics: %v", err)
+		}
+		t.Errorf("asiclint found %d diagnostics; fix them or add //lint:ignore with a reason:\n%s",
+			len(diags), buf.String())
+	}
+}
+
+func TestByName(t *testing.T) {
+	picked, unknown := suite.ByName([]string{"floatcmp", "unitdoc"})
+	if unknown != "" || len(picked) != 2 {
+		t.Fatalf("ByName(floatcmp, unitdoc) = %v, %q", picked, unknown)
+	}
+	if picked[0].Name != "floatcmp" || picked[1].Name != "unitdoc" {
+		t.Errorf("ByName returned wrong analyzers: %s, %s", picked[0].Name, picked[1].Name)
+	}
+	if _, unknown := suite.ByName([]string{"nosuch"}); unknown != "nosuch" {
+		t.Errorf("ByName(nosuch) should report the unknown name, got %q", unknown)
+	}
+}
+
+func TestSuiteNamesAreUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range suite.Analyzers() {
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %q must have a name and doc", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if !seen["unitconv"] || !seen["floatcmp"] || !seen["droppederr"] || !seen["unitdoc"] {
+		t.Errorf("suite is missing a core analyzer: %v", seen)
+	}
+}

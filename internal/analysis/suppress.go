@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A directive is one parsed //lint:ignore comment.
+//
+// Syntax:
+//
+//	//lint:ignore analyzer[,analyzer...] reason
+//
+// The directive suppresses diagnostics from the named analyzers on the
+// same source line (trailing comment) or on the line immediately below
+// (standalone comment line). The reason is mandatory: a suppression
+// without a stated justification is itself reported, as is a directive
+// naming an analyzer that does not exist — both keep the suppression
+// vocabulary honest as the suite grows.
+type directive struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+}
+
+const directivePrefix = "//lint:ignore"
+
+// parseDirectives extracts every //lint:ignore directive from the files of
+// a package, keyed by filename.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				// Require a space (or end) after the prefix so that e.g.
+				// //lint:ignorefoo is not a directive.
+				if text != "" && text[0] != ' ' && text[0] != '\t' {
+					continue
+				}
+				fields := strings.Fields(text)
+				d := directive{pos: fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					d.analyzers = strings.Split(fields[0], ",")
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// lintName is the pseudo-analyzer under which the framework reports
+// malformed suppression directives.
+const lintName = "lint"
+
+// applySuppression validates directives against the set of known analyzer
+// names and filters diags accordingly. It returns the surviving
+// diagnostics plus any new diagnostics about the directives themselves.
+func applySuppression(diags []Diagnostic, dirs []directive, known map[string]bool) []Diagnostic {
+	// covered[file][line][analyzer] reports an active suppression.
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	covered := make(map[key]bool)
+	var extra []Diagnostic
+	for _, d := range dirs {
+		if len(d.analyzers) == 0 {
+			extra = append(extra, Diagnostic{Pos: d.pos, Analyzer: lintName,
+				Message: "malformed //lint:ignore: expected \"//lint:ignore analyzer[,analyzer] reason\""})
+			continue
+		}
+		if d.reason == "" {
+			extra = append(extra, Diagnostic{Pos: d.pos, Analyzer: lintName,
+				Message: "//lint:ignore directive is missing a reason"})
+			continue
+		}
+		valid := true
+		for _, name := range d.analyzers {
+			if !known[name] {
+				extra = append(extra, Diagnostic{Pos: d.pos, Analyzer: lintName,
+					Message: "//lint:ignore names unknown analyzer \"" + name + "\""})
+				valid = false
+			}
+		}
+		if !valid {
+			continue
+		}
+		// A directive covers its own line (trailing comment) and the line
+		// immediately below (standalone comment above the statement).
+		for _, name := range d.analyzers {
+			covered[key{d.pos.Filename, d.pos.Line, name}] = true
+			covered[key{d.pos.Filename, d.pos.Line + 1, name}] = true
+		}
+	}
+	var out []Diagnostic
+	for _, diag := range diags {
+		if covered[key{diag.Pos.Filename, diag.Pos.Line, diag.Analyzer}] {
+			continue
+		}
+		out = append(out, diag)
+	}
+	return append(out, extra...)
+}

@@ -1,0 +1,88 @@
+package analysis_test
+
+import (
+	"bytes"
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asiccloud/internal/analysis"
+)
+
+// funcFlagger builds a toy analyzer that reports every function
+// declaration, giving the suppression machinery something deterministic
+// to filter.
+func funcFlagger(name string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: name,
+		Doc:  "test analyzer flagging every function declaration",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "function %s declared", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// silent is an analyzer that exists (so directives may name it) but never
+// reports; a valid directive naming it must stay inert, not error.
+func silent(name string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: name,
+		Doc:  "test analyzer that never reports",
+		Run:  func(pass *analysis.Pass) error { return nil },
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	pkg, err := analysis.CheckSource("asiccloud/internal/fixture",
+		[]string{filepath.Join("testdata", "suppress.go")})
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg},
+		[]*analysis.Analyzer{funcFlagger("testflag"), silent("otherflag")})
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := analysis.WriteText(&buf, diags, ""); err != nil {
+		t.Fatalf("formatting diagnostics: %v", err)
+	}
+	got := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+
+	want := []string{
+		// plain() has no directive.
+		`testdata/suppress.go:6:1: testflag: function plain declared`,
+		// unknown(): the ghost directive is reported and does not suppress.
+		`testdata/suppress.go:16:1: lint: //lint:ignore names unknown analyzer "ghostflag"`,
+		`testdata/suppress.go:17:1: testflag: function unknown declared`,
+		// noReason(): reason is mandatory; directive reported, no suppression.
+		`testdata/suppress.go:19:1: lint: //lint:ignore directive is missing a reason`,
+		`testdata/suppress.go:20:1: testflag: function noReason declared`,
+		// malformed(): no analyzer list at all.
+		`testdata/suppress.go:22:1: lint: malformed //lint:ignore: expected "//lint:ignore analyzer[,analyzer] reason"`,
+		`testdata/suppress.go:23:1: testflag: function malformed declared`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics mismatch\n--- got ---\n%s\n--- want ---\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d:\n  got  %s\n  want %s", i, got[i], want[i])
+		}
+	}
+	// standalone, trailing and comma must not appear at all.
+	for _, name := range []string{"standalone", "trailing", "comma"} {
+		if strings.Contains(buf.String(), name) {
+			t.Errorf("suppressed function %s still reported:\n%s", name, buf.String())
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Package fixture exercises //lint:ignore handling: the standalone,
+// trailing and comma-list forms suppress, while unknown analyzer names,
+// missing reasons and malformed directives are themselves reported.
+package fixture
+
+func plain() {}
+
+//lint:ignore testflag fixture exercises the standalone form
+func standalone() {}
+
+func trailing() {} //lint:ignore testflag fixture exercises the trailing form
+
+//lint:ignore testflag,otherflag fixture exercises the comma list
+func comma() {}
+
+//lint:ignore ghostflag the named analyzer does not exist
+func unknown() {}
+
+//lint:ignore testflag
+func noReason() {}
+
+//lint:ignore
+func malformed() {}

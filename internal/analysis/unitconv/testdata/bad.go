@@ -1,0 +1,27 @@
+// Package fixture exercises the unitconv analyzer: every conversion
+// factor spelled inline as a bare literal should be flagged, while named
+// constants, additive epsilons and call arguments pass.
+package fixture
+
+// namedFactor carries its unit in its name, so products using it are fine.
+const namedFactor = 3600.0
+
+func conversions(areaMM2, hours, ghs, cfm, tempC, hs float64) float64 {
+	m2 := areaMM2 * 1e-6      // flagged: mm² → m²
+	secs := hours * 3600      // flagged: hours → seconds
+	raw := ghs * 1e9          // flagged: GH/s → H/s
+	back := hs / 1e9          // flagged: division performs H/s → GH/s
+	flow := cfm * 0.000471947 // flagged: CFM → m³/s
+	kelvin := tempC + 273.15  // flagged: °C → K
+	celsius := kelvin - 273.15 // flagged: K → °C under subtraction
+	annual := 24 * 365 * hours   // flagged once, as the product 8760
+	yearSecs := 365 * 24 * 3600.0 // flagged once, as the product 31536000
+
+	okNamed := hours * namedFactor // named constant: fine
+	tol := m2 - 1e-9               // additive epsilon: scale factors only count under * and /
+	okArg := clamp(1e-6)           // call argument: not arithmetic
+
+	return secs + raw + back + flow + celsius + annual + yearSecs + okNamed + tol + okArg
+}
+
+func clamp(v float64) float64 { return v }

@@ -1,0 +1,153 @@
+// Package unitconv flags magic unit-conversion literals used in arithmetic
+// outside internal/units.
+//
+// The explorer's entire TCO methodology is a long chain of physical
+// quantity arithmetic (mm² → m², CFM → m³/s, °C → K, years → hours). An
+// inline `* 1e-6` or `+ 273.15` silently encodes a unit conversion that
+// the next reader — and the next refactor — cannot distinguish from model
+// calibration. All such conversions must go through the named helpers and
+// constants of internal/units, where each factor is written once,
+// documented and tested.
+package unitconv
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+
+	"asiccloud/internal/analysis"
+)
+
+// Analyzer is the unitconv analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitconv",
+	Doc: "flags magic unit-conversion literals (1e-6, 0.000471947, 273.15, 3600, 8760, ...) " +
+		"used in arithmetic outside internal/units; use the named units.* helpers/constants",
+	Match: func(pkgPath string) bool {
+		// internal/units is where the factors are allowed to live.
+		return pkgPath != "internal/units" && !strings.HasSuffix(pkgPath, "/internal/units")
+	},
+	Run: run,
+}
+
+// scaleOps are the operators under which a scale factor performs a
+// conversion; offsetOps likewise for additive offsets. Tolerances and
+// epsilons legitimately appear as +/- adjustments (e.g. `x - 1e-9`) or as
+// call arguments, so scale factors are only flagged under * and /.
+var (
+	scaleOps  = map[token.Token]bool{token.MUL: true, token.QUO: true}
+	offsetOps = map[token.Token]bool{token.ADD: true, token.SUB: true}
+)
+
+// magicLiterals maps a literal's exact constant value to the conversion it
+// silently performs. Values are parsed from the same source spelling the
+// offending code would use, so comparison is exact, not approximate.
+var magicLiterals = []struct {
+	src  string
+	ops  map[token.Token]bool
+	hint string
+}{
+	{"1e-6", scaleOps, "mm²→m² or µm²→mm²; use units.MM2ToM2 or units.UM2ToMM2"},
+	{"1e6", scaleOps, "m²→mm² or W→MW or Hz→MHz; use units.M2ToMM2, units.WToMW or units.HzToMHz"},
+	{"1e9", scaleOps, "GH/s↔H/s; use units.GHsToHs or units.HsToGHs"},
+	{"1e-9", scaleOps, "H/s→GH/s; use units.HsToGHs"},
+	{"0.000471947", scaleOps, "CFM→m³/s; use units.CFMToM3s"},
+	{"273.15", offsetOps, "°C↔K; use units.CtoK or units.KtoC"},
+	{"3600", scaleOps, "hours↔seconds; use units.SecondsPerHour"},
+	{"8760", scaleOps, "years↔hours; use units.HoursPerYear"},
+	{"86400", scaleOps, "days↔seconds; use units.SecondsPerDay"},
+	{"31536000", scaleOps, "years↔seconds; use units.SecondsPerYear"},
+}
+
+// magicProducts are values that smell like a time conversion when spelled
+// as a product of bare literals (24 * 365, 24 * 3600, 365 * 24 * 3600).
+var magicProducts = map[int64]string{
+	8760:     "years↔hours; use units.HoursPerYear",
+	86400:    "days↔seconds; use units.SecondsPerDay",
+	31536000: "years↔seconds; use units.SecondsPerYear",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			if reportLiteralProduct(pass, be) {
+				// One diagnostic for the whole product; don't also flag
+				// its sub-factors.
+				return false
+			}
+			checkOperand(pass, be.Op, be.X)
+			checkOperand(pass, be.Op, be.Y)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkOperand reports op's operand e when it is a bare literal whose
+// value is one of the known conversion factors under that operator.
+func checkOperand(pass *analysis.Pass, op token.Token, e ast.Expr) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+		return
+	}
+	val := constant.MakeFromLiteral(lit.Value, lit.Kind, 0)
+	if val.Kind() == constant.Unknown {
+		return
+	}
+	for _, m := range magicLiterals {
+		if !m.ops[op] {
+			continue
+		}
+		want := constant.MakeFromLiteral(m.src, token.FLOAT, 0)
+		if constant.Compare(constant.ToFloat(val), token.EQL, want) {
+			pass.Reportf(lit.Pos(), "magic unit-conversion literal %s (%s)", lit.Value, m.hint)
+			return
+		}
+	}
+}
+
+// reportLiteralProduct reports multiplications built purely from literals
+// (e.g. 24 * 365) whose product is a well-known time-conversion count, and
+// returns true if it reported. Named constants multiplied together are
+// fine — the names carry the units — so every factor must be literal.
+func reportLiteralProduct(pass *analysis.Pass, be *ast.BinaryExpr) bool {
+	if be.Op != token.MUL {
+		return false
+	}
+	if !literalOnly(be.X) || !literalOnly(be.Y) {
+		return false
+	}
+	tv, ok := pass.Info.Types[be]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return false
+	}
+	hint, ok := magicProducts[v]
+	if !ok {
+		return false
+	}
+	pass.Reportf(be.Pos(), "magic unit-conversion product %d written as bare literals (%s)", v, hint)
+	return true
+}
+
+// literalOnly reports whether e is built exclusively from numeric literals
+// and arithmetic (no named constants or variables).
+func literalOnly(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.INT || e.Kind == token.FLOAT
+	case *ast.BinaryExpr:
+		return literalOnly(e.X) && literalOnly(e.Y)
+	case *ast.UnaryExpr:
+		return literalOnly(e.X)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package unitconv_test
+
+import (
+	"testing"
+
+	"asiccloud/internal/analysis/atest"
+	"asiccloud/internal/analysis/unitconv"
+)
+
+func TestUnitconv(t *testing.T) {
+	atest.Run(t, unitconv.Analyzer, "bad", atest.Config{})
+}

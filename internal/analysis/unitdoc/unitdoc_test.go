@@ -1,0 +1,15 @@
+package unitdoc_test
+
+import (
+	"testing"
+
+	"asiccloud/internal/analysis/atest"
+	"asiccloud/internal/analysis/unitdoc"
+)
+
+// The fixture lives under testdata/internal/power/ so that its import
+// path also satisfies the analyzer's Match scoping when cmd/asiclint is
+// pointed at the directory directly.
+func TestUnitdoc(t *testing.T) {
+	atest.Run(t, unitdoc.Analyzer, "internal/power/bad", atest.Config{})
+}

@@ -3,6 +3,8 @@ package bitcoin
 import (
 	"fmt"
 	"math"
+
+	"asiccloud/internal/units"
 )
 
 // The Figure 1 simulator: the global Bitcoin network ramping "through the
@@ -100,10 +102,12 @@ func SimulateNetwork(gens []Generation, p NetworkParams, horizonYears float64) (
 	if horizonYears <= 0 {
 		return nil, fmt.Errorf("bitcoin: non-positive horizon")
 	}
-	const secondsPerYear = 365.25 * 24 * 3600
+	// Julian year: block timing uses calendar time, not the explorer's
+	// 365-day amortization year.
+	const secondsPerYear = 365.25 * 24 * units.SecondsPerHour
 	// Difficulty d means a block takes d * 2^32 hashes in expectation;
 	// calibrate difficulty 1 to the initial fleet.
-	hashesPerDiff1 := p.InitialHashrateGHs * 1e9 * p.TargetBlockSeconds
+	hashesPerDiff1 := units.GHsToHs(p.InitialHashrateGHs) * p.TargetBlockSeconds
 
 	var out []Sample
 	t := 0.0 // seconds since genesis
@@ -114,7 +118,7 @@ func SimulateNetwork(gens []Generation, p NetworkParams, horizonYears float64) (
 		// Expected time for one retarget period at the prevailing
 		// hashrate, integrating block by block.
 		for i := 0; i < p.RetargetBlocks; i++ {
-			h := FleetHashrate(gens, t/secondsPerYear) * 1e9 // H/s
+			h := units.GHsToHs(FleetHashrate(gens, t/secondsPerYear)) // H/s
 			if h <= 0 {
 				return nil, fmt.Errorf("bitcoin: fleet hashrate non-positive at %.2f years", t/secondsPerYear)
 			}

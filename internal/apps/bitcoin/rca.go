@@ -1,6 +1,9 @@
 package bitcoin
 
-import "asiccloud/internal/vlsi"
+import (
+	"asiccloud/internal/units"
+	"asiccloud/internal/vlsi"
+)
 
 // RCA returns the paper's published Bitcoin replicated compute
 // accelerator: a fully pipelined double-SHA256 core, "128 one-clock
@@ -33,7 +36,7 @@ func RCA() vlsi.Spec {
 // structurally modeled in RolledNetlist and cross-checked by tests.
 func RolledRCA() vlsi.Spec {
 	tech := vlsi.Generic28nm()
-	spec, err := tech.Estimate(RolledNetlist(), 830e6, 1e-9/float64(2*Rounds), "GH/s")
+	spec, err := tech.Estimate(RolledNetlist(), 830e6, units.HsToGHs(1/float64(2*Rounds)), "GH/s")
 	if err != nil {
 		// The netlist below is a constant; estimation cannot fail.
 		panic(err)

@@ -154,6 +154,7 @@ func (Softmax) Forward(in *Tensor) (*Tensor, error) {
 		out.Data[i] = float32(e)
 		sum += e
 	}
+	//lint:ignore floatcmp exact zero is the total-underflow sentinel; any nonzero sum is divisible
 	if sum == 0 {
 		return nil, fmt.Errorf("cnn: softmax underflow")
 	}

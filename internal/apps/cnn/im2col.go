@@ -58,6 +58,7 @@ func (c *Conv) ForwardFast(in *Tensor) (*Tensor, error) {
 		}
 		wRow := c.Weights[o*patchLen : (o+1)*patchLen]
 		for r, wv := range wRow {
+			//lint:ignore floatcmp exact-zero skip exploits stored weight sparsity without changing results
 			if wv == 0 {
 				continue
 			}

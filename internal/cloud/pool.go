@@ -275,6 +275,7 @@ func (p *Pool) Serve(ctx context.Context, l net.Listener) error {
 	defer wg.Wait()
 	go func() {
 		<-ctx.Done()
+		//lint:ignore droppederr best-effort shutdown; Accept surfaces the closed listener
 		l.Close()
 	}()
 	for {
@@ -288,6 +289,7 @@ func (p *Pool) Serve(ctx context.Context, l net.Listener) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			//lint:ignore droppederr close error on a finished worker socket is unactionable
 			defer conn.Close()
 			p.serveConn(conn)
 		}()
@@ -315,6 +317,7 @@ func (p *Pool) serveConn(conn net.Conn) {
 		case "getwork":
 			j, ok := p.next()
 			if !ok {
+				//lint:ignore droppederr courtesy reply on a connection we are about to drop
 				_ = enc.Encode(message{Type: "nojob"})
 				return
 			}
@@ -357,9 +360,11 @@ func RunWorker(ctx context.Context, addr, id string, h Handler) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("cloud: dial %s: %w", addr, err)
 	}
+	//lint:ignore droppederr close error after the protocol exchange is unactionable
 	defer conn.Close()
 	go func() {
 		<-ctx.Done()
+		//lint:ignore droppederr best-effort cancellation; the reader sees the closed socket
 		conn.Close()
 	}()
 

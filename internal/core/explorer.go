@@ -25,6 +25,7 @@ import (
 	"asiccloud/internal/pareto"
 	"asiccloud/internal/server"
 	"asiccloud/internal/tco"
+	"asiccloud/internal/units"
 )
 
 // Sweep describes the search space around a base configuration.
@@ -416,9 +417,11 @@ func Explore(sweep Sweep, model tco.Model, recorder ...*obs.Recorder) (Result, e
 	// Deterministic order regardless of scheduling.
 	sort.Slice(points, func(i, j int) bool {
 		a, b := points[i], points[j]
+		//lint:ignore floatcmp sort comparators need an exact total order; fuzzy ties break transitivity
 		if a.DollarsPerOp != b.DollarsPerOp {
 			return a.DollarsPerOp < b.DollarsPerOp
 		}
+		//lint:ignore floatcmp sort comparators need an exact total order; fuzzy ties break transitivity
 		if a.WattsPerOp != b.WattsPerOp {
 			return a.WattsPerOp < b.WattsPerOp
 		}
@@ -452,7 +455,7 @@ func (p Point) Describe() string {
 		"%d chips/lane × %d lanes, %.0f mm² dies (%d RCAs), %.2f V, %.0f MHz: "+
 			"%.1f %s/server, %.0f W, $%.0f → %.4g $/%s, %.4g W/%s, TCO %.4g",
 		cfg.ChipsPerLane, cfg.Lanes, p.DieArea, cfg.RCAsPerChip,
-		cfg.Voltage, p.Freq/1e6,
+		cfg.Voltage, units.HzToMHz(p.Freq),
 		p.Perf, cfg.RCA.PerfUnit, p.WallPower, p.Cost(),
 		p.DollarsPerOp, cfg.RCA.PerfUnit, p.WattsPerOp, cfg.RCA.PerfUnit,
 		p.TCOPerOp(),

@@ -10,6 +10,8 @@ package datacenter
 import (
 	"fmt"
 	"math"
+
+	"asiccloud/internal/units"
 )
 
 // Rack describes one rack's capacity.
@@ -114,5 +116,5 @@ func Plan(rack Rack, perfPerServer, serverWallW, demand float64) (Deployment, er
 // facilities are under construction", with a global ASIC Cloud budget
 // estimated at 300-500 MW.
 func MegawattFacilities(d Deployment) float64 {
-	return d.TotalPowerW / 1e6
+	return units.WToMW(d.TotalPowerW)
 }

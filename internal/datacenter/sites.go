@@ -1,6 +1,10 @@
 package datacenter
 
-import "fmt"
+import (
+	"fmt"
+
+	"asiccloud/internal/units"
+)
 
 // Site captures the geography-dependent inputs the paper's operators
 // optimize over (§3): "KnCminer has a facility in Iceland, because there
@@ -59,5 +63,5 @@ func (s Site) Validate() error {
 // YearlyOpexPerWatt is the site's energy cost per wall watt per year —
 // the figure of merit the paper's operators chased across the planet.
 func (s Site) YearlyOpexPerWatt() float64 {
-	return s.ElectricityPerKWh * s.PUE * 8760 / 1000
+	return s.ElectricityPerKWh * s.PUE * units.HoursPerYear / units.WattsPerKilowatt
 }

@@ -20,6 +20,7 @@ import (
 	"asiccloud/internal/server"
 	"asiccloud/internal/tco"
 	"asiccloud/internal/thermal"
+	"asiccloud/internal/units"
 	"asiccloud/internal/vlsi"
 )
 
@@ -232,7 +233,14 @@ func Figure11() (Artifact, error) {
 			continue
 		}
 		v := p.Config.Voltage
-		if v != 0.40 && v != 0.45 && v != 0.50 && v != 0.55 && v != 0.60 && v != 0.62 {
+		sampled := false
+		for _, want := range []float64{0.40, 0.45, 0.50, 0.55, 0.60, 0.62} {
+			if units.ApproxEqual(v, want, 1e-9) {
+				sampled = true
+				break
+			}
+		}
+		if !sampled {
 			continue
 		}
 		rows = append(rows, []string{
@@ -285,7 +293,7 @@ func optimaTable(id, title, unit string, energy, tcoOpt, cost core.Point) Artifa
 		row("ASICs per lane", func(p core.Point) string { return fmt.Sprintf("%d", p.Config.ChipsPerLane) }),
 		row("Lanes", func(p core.Point) string { return fmt.Sprintf("%d", p.Config.Lanes) }),
 		row("Logic voltage (V)", func(p core.Point) string { return f("%.2f", p.Config.Voltage) }),
-		row("Clock (MHz)", func(p core.Point) string { return f("%.0f", p.Freq/1e6) }),
+		row("Clock (MHz)", func(p core.Point) string { return f("%.0f", units.HzToMHz(p.Freq)) }),
 		row("Die size (mm2)", func(p core.Point) string { return f("%.0f", p.DieArea) }),
 		row("RCAs per chip", func(p core.Point) string { return fmt.Sprintf("%d", p.Config.RCAsPerChip) }),
 		row("Total silicon (mm2)", func(p core.Point) string {

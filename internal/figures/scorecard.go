@@ -24,6 +24,7 @@ type expectation struct {
 // SHAPE beyond that (ordering/trend reproduced but the absolute value
 // depends on unpublished calibration inputs).
 func verdict(paper, measured float64) string {
+	//lint:ignore floatcmp paper==0 is an assigned "no published value" sentinel, never computed
 	if paper == 0 {
 		return "SHAPE"
 	}

@@ -379,6 +379,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 }
 
 func formatFloat(v float64) string {
+	//lint:ignore floatcmp exact integrality test only selects the text representation
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return fmt.Sprintf("%d", int64(v))
 	}

@@ -27,6 +27,7 @@ func Frontier[T any](pts []T, x, y func(T) float64) []int {
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
 		xa, xb := x(pts[idx[a]]), x(pts[idx[b]])
+		//lint:ignore floatcmp sort comparators need an exact total order; fuzzy ties break transitivity
 		if xa != xb {
 			return xa < xb
 		}
@@ -39,6 +40,7 @@ func Frontier[T any](pts []T, x, y func(T) float64) []int {
 		yi := y(pts[i])
 		if first || yi < bestY {
 			// Skip exact duplicates of the previous frontier point.
+			//lint:ignore floatcmp dedup targets bit-identical points; near-duplicates are kept by design
 			if !first && x(pts[i]) == x(pts[out[len(out)-1]]) && yi == bestY {
 				continue
 			}

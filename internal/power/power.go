@@ -111,9 +111,9 @@ type Delivery struct {
 	OtherLoad  float64 // W of 12 V loads that skip conversion (fans...)
 	WallPower  float64 // W drawn from the 208 V feed
 	DCDCUnits  int
-	DCDCAmps   float64
-	DCDCCost   float64
-	PSUCost    float64
+	DCDCAmps   float64 // A of converter output current capacity
+	DCDCCost   float64 // $ for all DC-DC converters
+	PSUCost    float64 // $ for the 208 V power supplies
 	Efficiency float64 // silicon watts per wall watt
 }
 

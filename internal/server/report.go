@@ -3,6 +3,8 @@ package server
 import (
 	"fmt"
 	"strings"
+
+	"asiccloud/internal/units"
 )
 
 // Report renders a full datasheet for an evaluated server — the level of
@@ -22,9 +24,9 @@ func (e Evaluation) Report() string {
 		cfg.Lanes, cfg.ChipsPerLane, cfg.RCAsPerChip, e.TotalRCAs)
 	w("die              %.1f mm² in %s", e.DieArea, cfg.Process.Name)
 	w("operating point  %.2f V, %.0f MHz (utilization %.0f%%)",
-		cfg.Voltage, e.Freq/1e6, 100*e.Utilization)
+		cfg.Voltage, units.HzToMHz(e.Freq), 100*e.Utilization)
 	cooling := fmt.Sprintf("forced air, %s layout, %.0f mm sink depth, %d fins",
-		cfg.Layout, e.Sink.Depth*1e3, e.Sink.FinCount())
+		cfg.Layout, units.MToMM(e.Sink.Depth), e.Sink.FinCount())
 	if cfg.Immersion {
 		cooling = "two-phase immersion"
 	}

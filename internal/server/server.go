@@ -260,6 +260,7 @@ func ThermalPlan(cfg Config) (thermal.OptimizeResult, error) {
 	opt := thermal.DefaultOptimizeOptions()
 	opt.Layout = cfg.Layout
 	opt.ExtraRow = cfg.DRAM.BoardDepth()
+	//lint:ignore floatcmp zero is the "unset" sentinel of a user-assigned config field
 	if cfg.InletTempC != 0 {
 		opt.InletC = cfg.InletTempC
 	}

@@ -10,12 +10,16 @@
 // they reproduce to within ±0.3% (see DESIGN.md).
 package tco
 
-import "fmt"
+import (
+	"fmt"
+
+	"asiccloud/internal/units"
+)
 
 // Model holds the datacenter economics.
 type Model struct {
 	// ServerMarkup covers integration, shipping and installation on top
-	// of the bill of materials.
+	// of the bill of materials; a dimensionless multiplier ≥ 1.
 	ServerMarkup float64
 
 	// InterestRate is the annual cost of capital; amortized purchases
@@ -30,7 +34,8 @@ type Model struct {
 	// provisioning, cooling, land) amortized per wall watt per year.
 	DCCapexPerWattYear float64
 
-	// DCAmortYears is the facility amortization period for interest.
+	// DCAmortYears is the facility amortization period in years, used
+	// for the interest term.
 	DCAmortYears float64
 
 	// ElectricityPerKWh is the energy price ($0.06 in the paper —
@@ -80,11 +85,11 @@ func (m Model) Validate() error {
 // dollars per unit performance when fed per-op/s inputs, or absolute
 // dollars when fed whole-server cost and wall power.
 type Breakdown struct {
-	ServerAmort   float64 // server capital, with markup
-	AmortInterest float64 // interest on server capital
-	DCCapex       float64 // datacenter construction share
-	Electricity   float64 // energy over the lifetime, with PUE
-	DCInterest    float64 // interest on the datacenter share
+	ServerAmort   float64 // $ of server capital, with markup
+	AmortInterest float64 // $ of interest on server capital
+	DCCapex       float64 // $ of datacenter construction share
+	Electricity   float64 // $ of energy over the lifetime, with PUE
+	DCInterest    float64 // $ of interest on the datacenter share
 }
 
 // Total is the full TCO.
@@ -98,13 +103,13 @@ func (b Breakdown) Total() float64 {
 // the paper's headline metric.
 func (m Model) Of(serverCost, watts float64) Breakdown {
 	amort := serverCost * m.ServerMarkup
-	hours := m.LifetimeYears * 8760
+	hours := m.LifetimeYears * units.HoursPerYear
 	dcCapex := m.DCCapexPerWattYear * m.LifetimeYears * watts
 	return Breakdown{
 		ServerAmort:   amort,
 		AmortInterest: amort * m.InterestRate * m.LifetimeYears / 2,
 		DCCapex:       dcCapex,
-		Electricity:   watts * m.PUE * hours * m.ElectricityPerKWh / 1000,
+		Electricity:   watts * m.PUE * hours * m.ElectricityPerKWh / units.WattsPerKilowatt,
 		DCInterest:    dcCapex * m.InterestRate * m.DCAmortYears / 2,
 	}
 }

@@ -29,8 +29,8 @@ const (
 	MaxSinkHeight = 0.035 // m, limited to 1U, includes 3 mm spreader
 	MaxSinkDepth  = 0.100 // m
 	MinGap        = 0.001 // m between two fins
-	StdFin        = 0.0005
-	StdBase       = 0.003
+	StdFin        = 0.0005 // m; the paper's standard 0.5 mm fin thickness
+	StdBase       = 0.003  // m; the paper's standard 3 mm spreader base
 )
 
 // Validate reports whether the geometry is buildable within Table 2.
@@ -157,7 +157,7 @@ func (h HeatSink) Resistance(q, dieAreaMM2 float64) Resistance {
 
 	// Spreading resistance (maximum-constriction approximation):
 	// R = (1 - r1/r2)^1.5 / (pi * k * r1).
-	dieM2 := dieAreaMM2 * 1e-6
+	dieM2 := units.MM2ToM2(dieAreaMM2)
 	baseM2 := h.Width * h.Depth
 	var rSpread float64
 	if dieM2 < baseM2 {

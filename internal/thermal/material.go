@@ -10,6 +10,8 @@
 // paper's convention of mm².
 package thermal
 
+import "asiccloud/internal/units"
+
 // Material is a thermal conduction material.
 type Material struct {
 	Name         string
@@ -44,6 +46,6 @@ func (t TIM) Resistance(dieAreaMM2 float64) float64 {
 	if dieAreaMM2 <= 0 {
 		return 0
 	}
-	areaM2 := dieAreaMM2 * 1e-6
+	areaM2 := units.MM2ToM2(dieAreaMM2)
 	return t.Thickness / (t.Conductivity * areaM2)
 }

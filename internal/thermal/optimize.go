@@ -6,8 +6,8 @@ type OptimizeOptions struct {
 	LaneLen   float64 // usable lane depth (m)
 	ExtraRow  float64 // lane depth reserved for non-ASIC parts (m)
 	Layout    Layout
-	InletC    float64
-	MaxTjC    float64
+	InletC    float64 // inlet air temperature (°C)
+	MaxTjC    float64 // maximum junction temperature (°C)
 }
 
 // DefaultOptimizeOptions is the paper's 8-lane 1U server: a 19-inch

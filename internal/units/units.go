@@ -34,15 +34,58 @@ const (
 
 // Time conversion constants.
 const (
-	HoursPerYear   = 24 * 365
+	// HoursPerYear is the number of hours in a (non-leap) year.
+	HoursPerYear = 24 * 365
+
+	// SecondsPerHour is the number of seconds in an hour.
 	SecondsPerHour = 3600
+
+	// SecondsPerDay is the number of seconds in a day.
+	SecondsPerDay = 24 * SecondsPerHour
+
+	// SecondsPerYear is the number of seconds in a (non-leap) year.
+	SecondsPerYear = HoursPerYear * SecondsPerHour
 )
+
+// WattsPerKilowatt converts kW-denominated prices (e.g. $/kWh) into the
+// per-watt terms the TCO model works in.
+const WattsPerKilowatt = 1000.0
 
 // MM2ToM2 converts an area in mm² to m².
 func MM2ToM2(mm2 float64) float64 { return mm2 * 1e-6 }
 
 // M2ToMM2 converts an area in m² to mm².
 func M2ToMM2(m2 float64) float64 { return m2 * 1e6 }
+
+// UM2ToMM2 converts an area in µm² (the natural unit of per-gate and
+// per-bitcell layout densities) to mm².
+func UM2ToMM2(um2 float64) float64 { return um2 * 1e-6 }
+
+// WToMW converts watts to megawatts, the scale datacenter provisioning is
+// quoted in.
+func WToMW(w float64) float64 { return w * 1e-6 }
+
+// HzToMHz converts a frequency in Hz to MHz.
+func HzToMHz(hz float64) float64 { return hz * 1e-6 }
+
+// MHzToHz converts a frequency in MHz to Hz.
+func MHzToHz(mhz float64) float64 { return mhz * 1e6 }
+
+// GHsToHs converts a hash rate in GH/s to H/s.
+func GHsToHs(ghs float64) float64 { return ghs * 1e9 }
+
+// HsToGHs converts a hash rate in H/s to GH/s.
+func HsToGHs(hs float64) float64 { return hs * 1e-9 }
+
+// HsToMHs converts a hash rate in H/s to MH/s.
+func HsToMHs(hs float64) float64 { return hs * 1e-6 }
+
+// MToMM converts a length in m to mm.
+func MToMM(m float64) float64 { return m * 1e3 }
+
+// Million is a dimensionless count scale for display ("$M", "millions of
+// GH/s"); it is not a unit conversion.
+const Million = 1e6
 
 // CFMToM3s converts cubic feet per minute to m³/s, the airflow unit used by
 // commercial fan datasheets versus the SI unit used by our duct models.
@@ -53,6 +96,9 @@ func M3sToCFM(m3s float64) float64 { return m3s / 0.000471947 }
 
 // CtoK converts Celsius to Kelvin.
 func CtoK(c float64) float64 { return c + 273.15 }
+
+// KtoC converts Kelvin to Celsius.
+func KtoC(k float64) float64 { return k - 273.15 }
 
 // Clamp limits v to the closed interval [lo, hi].
 func Clamp(v, lo, hi float64) float64 {
@@ -71,6 +117,7 @@ func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
 // ApproxEqual reports whether a and b agree to within a relative tolerance
 // tol (or an absolute tolerance tol when both values are near zero).
 func ApproxEqual(a, b, tol float64) bool {
+	//lint:ignore floatcmp bitwise-equality fast path of the approx comparator itself
 	if a == b {
 		return true
 	}
@@ -82,15 +129,24 @@ func ApproxEqual(a, b, tol float64) bool {
 	return diff <= tol*largest
 }
 
+// ApproxZero reports whether v is within the absolute tolerance tol of
+// zero. Use it instead of `v == 0` on computed quantities; keep exact
+// comparison only for sentinel values that were assigned, never computed.
+func ApproxZero(v, tol float64) bool {
+	return math.Abs(v) <= tol
+}
+
 // Bisect finds x in [lo, hi] with f(x) ≈ 0 by bisection. f must be
 // monotonic across the interval with a sign change; if f has the same sign
 // at both endpoints, the endpoint with the smaller |f| is returned and
 // ok is false.
 func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (x float64, ok bool) {
 	flo, fhi := f(lo), f(hi)
+	//lint:ignore floatcmp exact root at the bracket endpoint terminates bisection early
 	if flo == 0 {
 		return lo, true
 	}
+	//lint:ignore floatcmp exact root at the bracket endpoint terminates bisection early
 	if fhi == 0 {
 		return hi, true
 	}
@@ -103,6 +159,7 @@ func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (x float6
 	for i := 0; i < maxIter; i++ {
 		mid := (lo + hi) / 2
 		fm := f(mid)
+		//lint:ignore floatcmp exact root terminates bisection; interval width handles the rest
 		if fm == 0 || (hi-lo)/2 < tol {
 			return mid, true
 		}

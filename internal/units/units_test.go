@@ -170,3 +170,57 @@ func TestBisectMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestNewConversionHelpers(t *testing.T) {
+	if got := KtoC(CtoK(30)); got != 30 {
+		t.Errorf("KtoC(CtoK(30)) = %v, want 30", got)
+	}
+	if got := UM2ToMM2(1e6); got != 1 {
+		t.Errorf("UM2ToMM2(1e6) = %v, want 1 mm²", got)
+	}
+	if got := WToMW(2.5e6); got != 2.5 {
+		t.Errorf("WToMW(2.5e6) = %v, want 2.5 MW", got)
+	}
+	if got := MHzToHz(HzToMHz(830e6)); got != 830e6 {
+		t.Errorf("MHz round trip = %v, want 830e6", got)
+	}
+	if got := HsToGHs(GHsToHs(12.5)); got != 12.5 {
+		t.Errorf("GH/s round trip = %v, want 12.5", got)
+	}
+	if got := HsToMHs(3e6); got != 3 {
+		t.Errorf("HsToMHs(3e6) = %v, want 3 MH/s", got)
+	}
+	if got := MToMM(0.04); !ApproxEqual(got, 40, 1e-12) {
+		t.Errorf("MToMM(0.04) = %v, want 40 mm", got)
+	}
+}
+
+func TestTimeConstants(t *testing.T) {
+	if SecondsPerDay != 24*SecondsPerHour {
+		t.Errorf("SecondsPerDay = %v, want %v", SecondsPerDay, 24*SecondsPerHour)
+	}
+	if SecondsPerYear != HoursPerYear*SecondsPerHour {
+		t.Errorf("SecondsPerYear = %v, want %v", SecondsPerYear, HoursPerYear*SecondsPerHour)
+	}
+	if WattsPerKilowatt != 1000 {
+		t.Errorf("WattsPerKilowatt = %v, want 1000", WattsPerKilowatt)
+	}
+	if Million != 1e6 {
+		t.Errorf("Million = %v, want 1e6", Million)
+	}
+}
+
+func TestApproxZero(t *testing.T) {
+	if !ApproxZero(0, 1e-9) {
+		t.Error("exact zero should be approximately zero")
+	}
+	if !ApproxZero(-1e-12, 1e-9) {
+		t.Error("tiny negative value should be approximately zero")
+	}
+	if ApproxZero(1e-3, 1e-9) {
+		t.Error("1e-3 is not zero at 1e-9 tolerance")
+	}
+	if ApproxZero(math.NaN(), 1e-9) {
+		t.Error("NaN must not count as zero")
+	}
+}

@@ -38,6 +38,7 @@ func normalCDF(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
 // SpecYield is the fraction of chips meeting a promised frequency,
 // expressed relative to nominal (promise=0.95 ⇒ 95% of nominal).
 func (b Binning) SpecYield(promise float64) float64 {
+	//lint:ignore floatcmp Sigma==0 is the assigned "no process variation" model, never computed
 	if b.Sigma == 0 {
 		if promise <= 1 {
 			return 1

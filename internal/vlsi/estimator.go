@@ -1,6 +1,10 @@
 package vlsi
 
-import "fmt"
+import (
+	"fmt"
+
+	"asiccloud/internal/units"
+)
 
 // Netlist is a coarse structural description of an accelerator, the input
 // to the gate-level area/power estimator. It substitutes for a synthesis
@@ -43,7 +47,7 @@ type Netlist struct {
 type Technology struct {
 	Name string
 
-	// NominalVoltage of characterization.
+	// NominalVoltage is the characterization supply voltage in V.
 	NominalVoltage float64
 
 	// GateArea is placed area per NAND2-equivalent in µm², including
@@ -98,7 +102,7 @@ func (t Technology) Estimate(n Netlist, freqHz, perfPerCycle float64, perfUnit s
 		return Spec{}, fmt.Errorf("vlsi: netlist %s needs a positive frequency", n.Name)
 	}
 	areaUM2 := n.Gates*t.GateArea + n.Flops*t.FlopArea + n.SRAMBits*t.SRAMBitArea
-	areaMM2 := areaUM2 * 1e-6
+	areaMM2 := units.UM2ToMM2(areaUM2)
 	if areaMM2 <= 0 {
 		return Spec{}, fmt.Errorf("vlsi: netlist %s has zero area", n.Name)
 	}

@@ -19,7 +19,7 @@ type PackageModel struct {
 	// SubstrateMargin is the substrate-to-die area ratio.
 	SubstrateMargin float64
 
-	// PinCost is the per-pin (ball + routing layer share) cost.
+	// PinCost is the cost in $ per pin (ball + routing layer share).
 	PinCost float64
 
 	// AmpsPerPowerPin is the current-carrying capacity assumed per

@@ -27,7 +27,7 @@ type PowerGrid struct {
 	BumpPitch float64
 	// SheetOhms is the upper-metal sheet resistance (Ω/□).
 	SheetOhms float64
-	// MetalFraction is the share of the top metal layers dedicated to
+	// MetalFraction is the fraction of the top metal layers dedicated to
 	// power and ground straps.
 	MetalFraction float64
 	// DroopBudget is the allowed static droop as a fraction of VDD.

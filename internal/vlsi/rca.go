@@ -3,6 +3,8 @@ package vlsi
 import (
 	"errors"
 	"fmt"
+
+	"asiccloud/internal/units"
 )
 
 // Spec describes a replicated compute accelerator (RCA) as extracted from a
@@ -44,8 +46,8 @@ type Spec struct {
 	// below SRAMVmin, reflecting the difficulty of scaling SRAM supply.
 	SRAMPowerFraction float64
 
-	// SRAMVmin is the minimum SRAM rail voltage. Zero means the design
-	// has no SRAM rail.
+	// SRAMVmin is the minimum SRAM rail voltage in V. Zero means the
+	// design has no SRAM rail.
 	SRAMVmin float64
 
 	// VoltageScalable is false for third-party IP whose micro-architecture
@@ -137,7 +139,9 @@ func (s *Spec) At(v float64) (OperatingPoint, error) {
 		return OperatingPoint{}, err
 	}
 	if !s.VoltageScalable {
-		if v != s.NominalVoltage {
+		// Tolerant match: sweep grids reconstruct voltages by repeated
+		// addition, so the nominal point may differ in the last ulp.
+		if !units.ApproxEqual(v, s.NominalVoltage, 1e-9) {
 			return OperatingPoint{}, fmt.Errorf("%w: %s runs only at %.2f V", ErrNotScalable, s.Name, s.NominalVoltage)
 		}
 	}

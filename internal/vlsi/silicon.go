@@ -20,7 +20,8 @@ type Process struct {
 	// DefectDensity D0 in defects per cm².
 	DefectDensity float64
 
-	// Clustering is the negative-binomial clustering parameter alpha.
+	// Clustering is the dimensionless negative-binomial clustering
+	// parameter alpha.
 	Clustering float64
 
 	// MaxDieArea is the manufacturable reticle/assembly limit in mm².

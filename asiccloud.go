@@ -30,6 +30,8 @@
 package asiccloud
 
 import (
+	"context"
+
 	"asiccloud/internal/apps/bitcoin"
 	"asiccloud/internal/apps/cnn"
 	"asiccloud/internal/apps/litecoin"
@@ -72,6 +74,12 @@ type (
 	Result = core.Result
 	// DesignPoint is one feasible design with its TCO breakdown.
 	DesignPoint = core.Point
+	// Engine is a reusable exploration service with a thermal-plan
+	// cache, context-aware execution and optional streaming (frontier-
+	// only) sweeps.
+	Engine = core.Engine
+	// CacheStats snapshots an Engine's plan-cache effectiveness.
+	CacheStats = core.CacheStats
 
 	// TCOModel holds the datacenter economics.
 	TCOModel = tco.Model
@@ -96,6 +104,19 @@ type (
 func Explore(sweep Sweep, model TCOModel) (Result, error) {
 	return core.Explore(sweep, model)
 }
+
+// ExploreContext is Explore with cancellation and deadline support: on
+// abort it returns promptly with a wrapped ctx error and the partial
+// prune accounting.
+func ExploreContext(ctx context.Context, sweep Sweep, model TCOModel) (Result, error) {
+	return core.ExploreContext(ctx, sweep, model)
+}
+
+// NewEngine returns a reusable exploration engine. Successive sweeps
+// over overlapping geometry grids — sensitivity studies, repeated
+// interactive queries — reuse its memoized thermal plans instead of
+// re-running heat-sink optimization.
+func NewEngine() *Engine { return core.NewEngine(nil) }
 
 // EvaluateServer runs the single-point Figure 4 evaluation flow.
 func EvaluateServer(cfg ServerConfig) (ServerEvaluation, error) {

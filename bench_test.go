@@ -143,6 +143,52 @@ func benchBitcoinExplore(b *testing.B) {
 	}
 }
 
+// BenchmarkRepeatedSweep measures the engine's thermal-plan cache on
+// back-to-back full Bitcoin sweeps — the studies/figures pattern where
+// the same geometries are re-explored under different economic models.
+// "cold" builds a fresh engine every iteration (every plan re-optimized);
+// "warm" shares a primed engine, so heat-sink optimization is entirely
+// cache hits. The warm result must be byte-identical to the cold one.
+func BenchmarkRepeatedSweep(b *testing.B) {
+	model := tco.Default()
+	ref, err := core.NewEngine(nil).Explore(bitcoinSweep(), model)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.NewEngine(nil).Explore(bitcoinSweep(), model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.TCOOptimal != ref.TCOOptimal {
+				b.Fatal("cold sweep result drifted")
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		eng := core.NewEngine(nil)
+		if _, err := eng.Explore(bitcoinSweep(), model); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Explore(bitcoinSweep(), model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.TCOOptimal != ref.TCOOptimal {
+				b.Fatal("warm-cache sweep result drifted")
+			}
+		}
+		if st := eng.CacheStats(); st.Hits == 0 {
+			b.Fatalf("warm sweeps never hit the plan cache: %+v", st)
+		}
+	})
+}
+
 // --- §7 voltage stacking -------------------------------------------------
 
 func BenchmarkVoltageStacking(b *testing.B) {

@@ -15,10 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
 	appbitcoin "asiccloud/internal/apps/bitcoin"
@@ -30,7 +32,6 @@ import (
 	"asiccloud/internal/datacenter"
 	"asiccloud/internal/figures"
 	"asiccloud/internal/nre"
-	"asiccloud/internal/obs"
 	"asiccloud/internal/server"
 	"asiccloud/internal/studies"
 	"asiccloud/internal/tco"
@@ -46,14 +47,18 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C cancels in-flight explorations cleanly: the engine stops
+	// within one geometry's work and reports how far it got.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "design":
-		err = cmdDesign(os.Args[2:])
+		err = cmdDesign(ctx, os.Args[2:])
 	case "pareto":
-		err = cmdPareto(os.Args[2:])
+		err = cmdPareto(ctx, os.Args[2:])
 	case "custom":
-		err = cmdCustom(os.Args[2:])
+		err = cmdCustom(ctx, os.Args[2:])
 	case "layouts":
 		err = cmdLayouts()
 	case "deathmatch":
@@ -61,7 +66,7 @@ func main() {
 	case "nre":
 		err = cmdNRE(os.Args[2:])
 	case "deploy":
-		err = cmdDeploy(os.Args[2:])
+		err = cmdDeploy(ctx, os.Args[2:])
 	case "study":
 		err = cmdStudy(os.Args[2:])
 	case "chipsim":
@@ -71,9 +76,9 @@ func main() {
 	case "mine":
 		err = cmdMine(os.Args[2:])
 	case "economics":
-		err = cmdEconomics(os.Args[2:])
+		err = cmdEconomics(ctx, os.Args[2:])
 	case "compare":
-		err = cmdCompare()
+		err = cmdCompare(ctx)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -105,33 +110,34 @@ subcommands:
   compare     all four ASIC Clouds' TCO-optimal servers side by side`)
 }
 
-// exploreApp runs the standard sweep for a named application. rec may
-// be nil (no instrumentation).
-func exploreApp(app string, rec *obs.Recorder) (core.Result, string, error) {
+// exploreApp runs the standard sweep for a named application on the
+// given engine, so commands that explore more than once (compare) reuse
+// one thermal-plan cache.
+func exploreApp(ctx context.Context, eng *core.Engine, app string) (core.Result, string, error) {
 	model := tco.Default()
 	switch app {
 	case "bitcoin":
-		res, err := core.Explore(core.Sweep{Base: server.Default(appbitcoin.RCA())}, model, rec)
+		res, err := eng.ExploreContext(ctx, core.Sweep{Base: server.Default(appbitcoin.RCA())}, model)
 		return res, "GH/s", err
 	case "litecoin":
-		res, err := core.Explore(core.Sweep{Base: server.Default(applitecoin.RCA())}, model, rec)
+		res, err := eng.ExploreContext(ctx, core.Sweep{Base: server.Default(applitecoin.RCA())}, model)
 		return res, "MH/s", err
 	case "xcode":
 		base, err := appxcode.ServerConfig(1)
 		if err != nil {
 			return core.Result{}, "", err
 		}
-		res, err := core.Explore(core.Sweep{
+		res, err := eng.ExploreContext(ctx, core.Sweep{
 			Base:        base,
 			DRAMPerASIC: []int{1, 2, 3, 4, 5, 6, 7, 8, 9},
-		}, model, rec)
+		}, model)
 		return res, "Kfps", err
 	default:
 		return core.Result{}, "", fmt.Errorf("unknown app %q (want bitcoin, litecoin, xcode or cnn)", app)
 	}
 }
 
-func cmdDesign(args []string) error {
+func cmdDesign(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("design", flag.ExitOnError)
 	app := fs.String("app", "bitcoin", "application: bitcoin, litecoin, xcode, cnn")
 	verbose := fs.Bool("v", false, "print the TCO-optimal server's full datasheet")
@@ -157,7 +163,7 @@ func cmdDesign(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, _, err := exploreApp(*app, rec)
+	res, _, err := exploreApp(ctx, core.NewEngine(rec), *app)
 	if err != nil {
 		return err
 	}
@@ -172,7 +178,7 @@ func cmdDesign(args []string) error {
 	return o.finish(&res)
 }
 
-func cmdPareto(args []string) error {
+func cmdPareto(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("pareto", flag.ExitOnError)
 	app := fs.String("app", "bitcoin", "application: bitcoin, litecoin, xcode")
 	n := fs.Int("n", 20, "maximum frontier points to print")
@@ -184,7 +190,7 @@ func cmdPareto(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, unit, err := exploreApp(*app, rec)
+	res, unit, err := exploreApp(ctx, core.NewEngine(rec), *app)
 	if err != nil {
 		return err
 	}
@@ -203,7 +209,7 @@ func cmdPareto(args []string) error {
 	return o.finish(&res)
 }
 
-func cmdCustom(args []string) error {
+func cmdCustom(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("custom", flag.ExitOnError)
 	area := fs.Float64("area", 1.0, "RCA area in mm²")
 	perf := fs.Float64("perf", 1.0, "RCA throughput at nominal voltage (unit/s)")
@@ -238,7 +244,7 @@ func cmdCustom(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Explore(core.Sweep{Base: server.Default(spec)}, tco.Default(), rec)
+	res, err := core.NewEngine(rec).ExploreContext(ctx, core.Sweep{Base: server.Default(spec)}, tco.Default())
 	if err != nil {
 		return err
 	}
@@ -298,7 +304,7 @@ func verdict(ok bool) string {
 	return "FAIL"
 }
 
-func cmdDeploy(args []string) error {
+func cmdDeploy(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("deploy", flag.ExitOnError)
 	app := fs.String("app", "litecoin", "application: bitcoin, litecoin, xcode")
 	demand := fs.Float64("demand", 1452000, "aggregate performance demand (app units)")
@@ -306,7 +312,7 @@ func cmdDeploy(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, unit, err := exploreApp(*app, nil)
+	res, unit, err := exploreApp(ctx, core.NewEngine(nil), *app)
 	if err != nil {
 		return err
 	}
@@ -505,7 +511,7 @@ func cmdMine(args []string) error {
 	return nil
 }
 
-func cmdEconomics(args []string) error {
+func cmdEconomics(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("economics", flag.ExitOnError)
 	world := fs.Float64("world", 575e6, "world hashrate at deployment (GH/s)")
 	growth := fs.Float64("growth", 0.3, "network growth per month (fraction)")
@@ -514,7 +520,7 @@ func cmdEconomics(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, _, err := exploreApp("bitcoin", nil)
+	res, _, err := exploreApp(ctx, core.NewEngine(nil), "bitcoin")
 	if err != nil {
 		return err
 	}
@@ -549,15 +555,18 @@ func cmdEconomics(args []string) error {
 	return nil
 }
 
-func cmdCompare() error {
+func cmdCompare(ctx context.Context) error {
 	fmt.Printf("%-16s %-8s %-14s %-9s %-9s %-10s %-10s %s\n",
 		"application", "unit", "perf/server", "W", "$", "$/op", "W/op", "TCO/op")
 	row := func(name, unit string, perf, w, cost, dpo, wpo, tco float64) {
 		fmt.Printf("%-16s %-8s %-14.0f %-9.0f %-9.0f %-10.4g %-10.4g %.4g\n",
 			name, unit, perf, w, cost, dpo, wpo, tco)
 	}
+	// One engine for all three clouds: their sweeps overlap heavily in
+	// geometry, so later apps hit the thermal-plan cache.
+	eng := core.NewEngine(nil)
 	for _, app := range []string{"bitcoin", "litecoin", "xcode"} {
-		res, unit, err := exploreApp(app, nil)
+		res, unit, err := exploreApp(ctx, eng, app)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,83 @@
+// Command benchreport merges `go test -bench` output into a JSON run
+// report produced by `asiccloud ... -report-json`, so benchmark numbers
+// (e.g. the repeated-sweep cache comparison) land in the same artifact
+// as the explorer's counters and span timings.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkRepeatedSweep . | benchreport -into BENCH_3.json
+//
+// Lines that are not benchmark results pass through to stdout, so the
+// command is transparent in a pipeline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// resultLine matches e.g. "BenchmarkRepeatedSweep/warm-8   30   37843554 ns/op".
+var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchreport: ")
+	into := flag.String("into", "", "JSON report file to merge benchmark results into")
+	flag.Parse()
+	if *into == "" {
+		log.Fatal("usage: go test -bench ... | benchreport -into report.json")
+	}
+
+	results := make(map[string]float64)
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if m := resultLine.FindStringSubmatch(line); m != nil {
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			results[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark result lines on stdin")
+	}
+
+	raw, err := os.ReadFile(*into)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var report map[string]any
+	if err := json.Unmarshal(raw, &report); err != nil {
+		log.Fatalf("%s: %v", *into, err)
+	}
+	report["benchmarks_ns_per_op"] = results
+
+	// The headline of the repeated-sweep benchmark: how much faster a
+	// warm plan cache makes an identical second sweep.
+	cold, okc := results["BenchmarkRepeatedSweep/cold"]
+	warm, okw := results["BenchmarkRepeatedSweep/warm"]
+	if okc && okw && warm > 0 {
+		report["plan_cache_speedup"] = cold / warm
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*into, append(out, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("merged %d benchmark results into %s", len(results), *into)
+}

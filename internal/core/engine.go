@@ -1,0 +1,547 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asiccloud/internal/dram"
+	"asiccloud/internal/obs"
+	"asiccloud/internal/pareto"
+	"asiccloud/internal/server"
+	"asiccloud/internal/tco"
+	"asiccloud/internal/thermal"
+)
+
+// DefaultChunkSize is the number of geometries a worker claims at a
+// time. Small enough to load-balance a dozen workers over a hundred
+// geometries, large enough that the claim counter is not contended.
+const DefaultChunkSize = 4
+
+// Engine runs design-space explorations as a reusable service instead
+// of a one-shot function. It adds three things over the free Explore:
+//
+//   - Context-aware execution: ExploreContext honors cancellation and
+//     deadlines, checking between geometries so an abort returns within
+//     one geometry's work, with the partial PruneSummary intact.
+//   - A concurrency-safe thermal-plan cache: server.ThermalPlan is a
+//     pure function of the geometry (see server.PlanInputs), so the
+//     engine memoizes its results — and its errors — across successive
+//     sweeps. Repeated sweeps over overlapping grids (studies, figures,
+//     scorecards) stop re-running heat-sink optimization entirely.
+//   - Deterministic chunked scheduling with a streaming Pareto fold, so
+//     frontier-only callers can drop Result.Points retention and run in
+//     O(frontier) memory while getting byte-identical Frontier and
+//     optima.
+//
+// The zero-value fields select defaults; an Engine must be created with
+// NewEngine. Engines are safe for concurrent use.
+type Engine struct {
+	// DiscardPoints switches the sweep to the streaming Pareto fold:
+	// Result.Points comes back nil and peak memory is bounded by the
+	// frontier size instead of the feasible set. Frontier and the three
+	// optima are byte-identical to a retaining run.
+	DiscardPoints bool
+	// ChunkSize is the number of geometries per scheduling chunk
+	// (0 selects DefaultChunkSize).
+	ChunkSize int
+	// Workers caps the sweep's parallelism (0 selects GOMAXPROCS).
+	// Results do not depend on the worker count or scheduling order.
+	Workers int
+
+	rec *obs.Recorder
+
+	mu    sync.RWMutex
+	plans map[planKey]planEntry
+
+	hits, misses    atomic.Int64
+	hitCtr, missCtr *obs.Counter
+}
+
+// planKey identifies a memoized thermal plan: the geometry coordinates
+// the sweep varies plus server.PlanInputs, which is by contract exactly
+// the set of Config fields ThermalPlan reads. Two keys comparing equal
+// therefore guarantee identical plans, even across sweeps with
+// different bases sharing one engine.
+type planKey struct {
+	rcasPerChip  int
+	chipsPerLane int
+	dramKind     dram.Kind
+	dramPerASIC  int
+	inputs       server.PlanInputs
+}
+
+// planEntry memoizes both outcomes of ThermalPlan: infeasible
+// geometries are as expensive to rediscover as feasible ones are to
+// re-optimize, so errors are cached too.
+type planEntry struct {
+	plan thermal.OptimizeResult
+	err  error
+}
+
+// NewEngine returns an engine with an empty plan cache. The optional
+// recorder (nil is a valid no-op) receives the explorer's spans and
+// counters plus the engine's plan-cache hit/miss counters.
+func NewEngine(rec *obs.Recorder) *Engine {
+	reg := rec.Registry()
+	reg.SetHelp("asiccloud_engine_plan_cache_hits_total",
+		"thermal plans served from the engine's geometry cache")
+	reg.SetHelp("asiccloud_engine_plan_cache_misses_total",
+		"thermal plans computed by heat-sink optimization (then cached)")
+	return &Engine{
+		rec:     rec,
+		plans:   make(map[planKey]planEntry),
+		hitCtr:  rec.Counter("asiccloud_engine_plan_cache_hits_total"),
+		missCtr: rec.Counter("asiccloud_engine_plan_cache_misses_total"),
+	}
+}
+
+// CacheStats is a snapshot of the plan cache's effectiveness.
+type CacheStats struct {
+	// Hits and Misses count lookups since the engine was created.
+	Hits, Misses int64
+	// Entries counts resident plans (feasible and infeasible).
+	Entries int
+}
+
+// CacheStats reports plan-cache hit/miss totals and residency.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.RLock()
+	n := len(e.plans)
+	e.mu.RUnlock()
+	return CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load(), Entries: n}
+}
+
+// thermalPlan memoizes server.ThermalPlan per geometry. Concurrent
+// misses on the same key may compute the plan twice; both arrive at the
+// identical value (ThermalPlan is pure), so the last store wins
+// harmlessly.
+func (e *Engine) thermalPlan(cfg server.Config) (thermal.OptimizeResult, error) {
+	key := planKey{
+		rcasPerChip:  cfg.RCAsPerChip,
+		chipsPerLane: cfg.ChipsPerLane,
+		dramKind:     cfg.DRAM.Device.Kind,
+		dramPerASIC:  cfg.DRAM.PerASIC,
+		inputs:       cfg.PlanInputs(),
+	}
+	e.mu.RLock()
+	ent, ok := e.plans[key]
+	e.mu.RUnlock()
+	if ok {
+		e.hits.Add(1)
+		e.hitCtr.Inc()
+		return ent.plan, ent.err
+	}
+	plan, err := server.ThermalPlan(cfg)
+	e.misses.Add(1)
+	e.missCtr.Inc()
+	e.mu.Lock()
+	e.plans[key] = planEntry{plan: plan, err: err}
+	e.mu.Unlock()
+	return plan, err
+}
+
+// Explore runs the sweep without a deadline; see ExploreContext.
+func (e *Engine) Explore(sweep Sweep, model tco.Model) (Result, error) {
+	return e.ExploreContext(context.Background(), sweep, model)
+}
+
+// pointDollars and pointWatts are the two Pareto objectives.
+func pointDollars(p Point) float64 { return p.DollarsPerOp }
+func pointWatts(p Point) float64   { return p.WattsPerOp }
+
+// lessPoint is the deterministic total order results are reported in:
+// ascending $ per op/s, then W per op/s, then the configuration
+// coordinates so exact metric ties still order identically regardless
+// of scheduling. NaN metrics order last (pareto.Compare), keeping the
+// sort a strict weak order even for degenerate points.
+func lessPoint(a, b Point) bool {
+	if c := pareto.Compare(a.DollarsPerOp, b.DollarsPerOp); c != 0 {
+		return c < 0
+	}
+	if c := pareto.Compare(a.WattsPerOp, b.WattsPerOp); c != 0 {
+		return c < 0
+	}
+	if c := pareto.Compare(a.Config.Voltage, b.Config.Voltage); c != 0 {
+		return c < 0
+	}
+	if a.Config.Stacked != b.Config.Stacked {
+		return !a.Config.Stacked
+	}
+	if a.Config.ChipsPerLane != b.Config.ChipsPerLane {
+		return a.Config.ChipsPerLane < b.Config.ChipsPerLane
+	}
+	if a.Config.RCAsPerChip != b.Config.RCAsPerChip {
+		return a.Config.RCAsPerChip < b.Config.RCAsPerChip
+	}
+	return a.Config.DRAM.PerASIC < b.Config.DRAM.PerASIC
+}
+
+// optAcc tracks a running argmin with lessPoint as the tie-break, so a
+// streaming fold selects exactly the point pareto.ArgMin would pick
+// from the lessPoint-sorted slice. NaN values never win.
+type optAcc struct {
+	ok bool
+	v  float64
+	p  Point
+}
+
+func (a *optAcc) add(v float64, p Point) {
+	if math.IsNaN(v) {
+		return
+	}
+	//lint:ignore floatcmp the tie-break must fire on exact metric equality to mirror ArgMin over a sorted slice
+	if !a.ok || v < a.v || (v == a.v && lessPoint(p, a.p)) {
+		a.ok, a.v, a.p = true, v, p
+	}
+}
+
+func (a *optAcc) merge(o optAcc) {
+	if o.ok {
+		a.add(o.v, o.p)
+	}
+}
+
+// geom is one deduplicated cell of the geometry grid.
+type geom struct {
+	rcasPerChip int
+	chipsLane   int
+	dramPerASIC int
+}
+
+// ExploreContext runs the brute-force search in parallel, checking ctx
+// between geometries: on cancellation or deadline it stops within one
+// geometry's work and returns a context.Canceled- (or
+// DeadlineExceeded-) wrapped error alongside a Result whose Pruned
+// summary exactly accounts for the configurations evaluated so far
+// (Generated == Feasible + PrunedTotal still holds on abort).
+//
+// Scheduling is deterministic: the geometry list is split into fixed
+// chunks, workers claim chunks dynamically, and results are folded back
+// in chunk order (or through the order-independent streaming Pareto
+// fold when DiscardPoints is set), so Result is identical for any
+// worker count and any scheduling interleave.
+func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Model) (Result, error) {
+	if err := model.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := sweep.Base.RCA.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	rec := e.rec
+	root := rec.Span("explore")
+	defer root.End()
+	ctr := newExploreCounters(rec)
+
+	gridSpan := root.Child("grid_build")
+	voltages := sweep.Voltages
+	if len(voltages) > 0 {
+		var err error
+		// The thermal early break prunes "all higher voltages" after the
+		// first ErrThermal, which is only sound on an ascending grid: a
+		// user-supplied unsorted list would prune voltages that are
+		// actually lower and feasible.
+		if voltages, err = normalizeVoltages(voltages); err != nil {
+			gridSpan.End()
+			return Result{}, err
+		}
+	} else {
+		voltages = VoltageGrid(sweep.Base.RCA.MinVoltage(), sweep.Base.RCA.MaxVoltage())
+	}
+	if len(voltages) == 0 {
+		gridSpan.End()
+		return Result{}, fmt.Errorf(
+			"core: empty voltage grid (RCA voltage range %.2f..%.2f V; need 0 <= lo <= hi)",
+			sweep.Base.RCA.MinVoltage(), sweep.Base.RCA.MaxVoltage())
+	}
+	silicon := sweep.SiliconPerLane
+	if len(silicon) == 0 {
+		silicon = DefaultSiliconPerLane()
+	}
+	chips := sweep.ChipsPerLane
+	if len(chips) == 0 {
+		chips = DefaultChipsPerLane()
+	}
+	drams := sweep.DRAMPerASIC
+	if len(drams) == 0 {
+		drams = []int{0}
+	}
+	stackedOptions := []bool{false}
+	if sweep.Stacked {
+		stackedOptions = append(stackedOptions, true)
+	}
+	// One geometry spawns this many candidate configurations.
+	perGeom := int64(len(stackedOptions)) * int64(len(voltages))
+
+	// Build the geometry work list, de-duplicating silicon targets that
+	// quantize to the same RCAs per chip.
+	var summary PruneSummary
+	seen := make(map[geom]bool)
+	var work []geom
+	for _, sil := range silicon {
+		for _, n := range chips {
+			r := int(math.Round(sil / float64(n) / sweep.Base.RCA.Area))
+			if r < 1 {
+				// The whole (silicon, chips) cell — every DRAM count,
+				// stacking option and voltage — dies to quantization.
+				cell := int64(len(drams)) * perGeom
+				summary.Generated += cell
+				summary.add(PruneQuantization, cell)
+				continue
+			}
+			for _, d := range drams {
+				g := geom{rcasPerChip: r, chipsLane: n, dramPerASIC: d}
+				if seen[g] {
+					summary.Duplicates++
+					continue
+				}
+				seen[g] = true
+				work = append(work, g)
+			}
+		}
+	}
+	// Quantized cells enter (and leave) the pipeline at grid build; the
+	// surviving geometries are counted as workers actually claim them,
+	// so an aborted sweep's accounting stays exact.
+	ctr.configs.Add(summary.Generated)
+	ctr.quantized.Add(summary.Reasons[PruneQuantization])
+	ctr.duplicates.Add(summary.Duplicates)
+	gridSpan.End()
+	if len(work) == 0 {
+		return Result{Pruned: summary}, fmt.Errorf(
+			"core: empty design space: every silicon/chips combination quantizes below one RCA per chip (%s)",
+			summary)
+	}
+
+	sweepSpan := root.Child("sweep")
+	chunk := e.ChunkSize
+	if chunk <= 0 {
+		chunk = DefaultChunkSize
+	}
+	numChunks := (len(work) + chunk - 1) / chunk
+	keep := !e.DiscardPoints
+	var chunkPoints [][]Point
+	if keep {
+		chunkPoints = make([][]Point, numChunks)
+	}
+	fold := pareto.NewFold(pointDollars, pointWatts)
+	var energyAcc, costAcc, tcoAcc optAcc
+	var (
+		mu        sync.Mutex
+		wg        sync.WaitGroup
+		nextChunk atomic.Int64
+		processed atomic.Int64
+	)
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numChunks {
+		workers = numChunks
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			var (
+				localSum   PruneSummary
+				localFold  *pareto.Fold[Point]
+				localE     optAcc
+				localC     optAcc
+				localT     optAcc
+				workerFrom = time.Now()
+				busy       time.Duration
+			)
+			if !keep {
+				localFold = pareto.NewFold(pointDollars, pointWatts)
+			}
+			for ctx.Err() == nil {
+				c := int(nextChunk.Add(1)) - 1
+				if c >= numChunks {
+					break
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > len(work) {
+					hi = len(work)
+				}
+				var pts []Point
+				for _, g := range work[lo:hi] {
+					if ctx.Err() != nil {
+						break
+					}
+					geomFrom := time.Now()
+					localSum.Generated += perGeom
+					ctr.configs.Add(perGeom)
+					processed.Add(1)
+					cfg := sweep.Base
+					cfg.RCAsPerChip = g.rcasPerChip
+					cfg.ChipsPerLane = g.chipsLane
+					if g.dramPerASIC > 0 {
+						sub, err := dram.NewSubsystem(cfg.DRAM.Device.Kind, g.dramPerASIC)
+						if err != nil {
+							localSum.add(PruneDRAM, perGeom)
+							ctr.dramErr.Add(perGeom)
+							busy += time.Since(geomFrom)
+							continue
+						}
+						cfg.DRAM = sub
+					} else {
+						cfg.DRAM = dram.Subsystem{}
+					}
+					plan, err := e.thermalPlan(cfg)
+					if err != nil {
+						// Geometry does not fit at any voltage.
+						localSum.add(PruneThermal, perGeom)
+						ctr.thermal.Add(perGeom)
+						busy += time.Since(geomFrom)
+						continue
+					}
+					for _, stacked := range stackedOptions {
+						cfg.Stacked = stacked
+						for i, v := range voltages {
+							cfg.Voltage = v
+							ev, err := server.EvaluateWithPlan(cfg, plan)
+							if err != nil {
+								if errors.Is(err, server.ErrThermal) {
+									// Chip heat grows monotonically with
+									// voltage: on the ascending grid all
+									// higher voltages fail too, so prune
+									// the rest.
+									rest := int64(len(voltages) - i)
+									localSum.add(PruneThermal, rest)
+									ctr.thermal.Add(rest)
+									break
+								}
+								localSum.add(PruneEval, 1)
+								ctr.evalErr.Inc()
+								continue
+							}
+							b := model.Of(ev.DollarsPerOp, ev.WattsPerOp)
+							pts = append(pts, Point{Evaluation: ev, TCO: b})
+							localSum.Feasible++
+							ctr.feasible.Inc()
+						}
+					}
+					busy += time.Since(geomFrom)
+				}
+				if keep {
+					chunkPoints[c] = pts
+				} else {
+					for _, p := range pts {
+						localFold.Add(p)
+						localE.add(p.WattsPerOp, p)
+						localC.add(p.DollarsPerOp, p)
+						localT.add(p.TCOPerOp(), p)
+					}
+				}
+			}
+			if total := time.Since(workerFrom); total > 0 {
+				rec.Gauge("asiccloud_explore_worker_utilization",
+					"worker", strconv.Itoa(worker)).Set(busy.Seconds() / total.Seconds())
+			}
+			mu.Lock()
+			summary.merge(localSum)
+			if !keep {
+				fold.Merge(localFold)
+				energyAcc.merge(localE)
+				costAcc.merge(localC)
+				tcoAcc.merge(localT)
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	sweepSpan.End()
+
+	if err := ctx.Err(); err != nil {
+		return Result{Pruned: summary}, fmt.Errorf(
+			"core: exploration aborted after %d of %d geometries (%s): %w",
+			processed.Load(), len(work), summary, err)
+	}
+	if summary.Feasible == 0 {
+		return Result{Pruned: summary}, fmt.Errorf(
+			"core: no feasible design point in the swept space (%s)", summary)
+	}
+
+	paretoSpan := root.Child("pareto")
+	res := Result{Pruned: summary}
+	if keep {
+		var n int
+		for _, pts := range chunkPoints {
+			n += len(pts)
+		}
+		points := make([]Point, 0, n)
+		for _, pts := range chunkPoints {
+			points = append(points, pts...)
+		}
+		// Deterministic order regardless of scheduling.
+		sort.Slice(points, func(i, j int) bool { return lessPoint(points[i], points[j]) })
+		res.Points = points
+		fr := pareto.Frontier(points, pointDollars, pointWatts)
+		res.Frontier = pareto.Select(points, fr)
+		if i := pareto.ArgMin(points, pointWatts); i >= 0 {
+			res.EnergyOptimal = points[i]
+		}
+		if i := pareto.ArgMin(points, pointDollars); i >= 0 {
+			res.CostOptimal = points[i]
+		}
+		if i := pareto.ArgMin(points, Point.TCOPerOp); i >= 0 {
+			res.TCOOptimal = points[i]
+		}
+	} else {
+		// The fold's survivor set is order-independent; sorting it and
+		// re-running Frontier applies the same duplicate tie-breaking
+		// the retaining path does, so the frontier is byte-identical.
+		surv := fold.Points()
+		sort.Slice(surv, func(i, j int) bool { return lessPoint(surv[i], surv[j]) })
+		fr := pareto.Frontier(surv, pointDollars, pointWatts)
+		res.Frontier = pareto.Select(surv, fr)
+		if energyAcc.ok {
+			res.EnergyOptimal = energyAcc.p
+		}
+		if costAcc.ok {
+			res.CostOptimal = costAcc.p
+		}
+		if tcoAcc.ok {
+			res.TCOOptimal = tcoAcc.p
+		}
+	}
+	paretoSpan.End()
+	rec.Gauge("asiccloud_explore_frontier_size").Set(float64(len(res.Frontier)))
+	return res, nil
+}
+
+// normalizeVoltages returns a sorted, de-duplicated copy of a
+// user-supplied voltage grid, rejecting non-positive (or NaN) entries
+// outright — operating voltages are physical quantities, and both
+// Explore's thermal early break and FindTCOOptimal's coarse-then-refine
+// pass assume an ascending grid.
+func normalizeVoltages(vs []float64) ([]float64, error) {
+	out := make([]float64, 0, len(vs))
+	for _, v := range vs {
+		if math.IsNaN(v) || v <= 0 {
+			return nil, fmt.Errorf("core: invalid operating voltage %v in Sweep.Voltages (must be positive)", v)
+		}
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	j := 0
+	for i := 1; i < len(out); i++ {
+		//lint:ignore floatcmp dedup targets bit-identical grid entries; distinct near-duplicates are kept by design
+		if out[i] == out[j] {
+			continue
+		}
+		j++
+		out[j] = out[i]
+	}
+	return out[:j+1], nil
+}

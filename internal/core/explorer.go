@@ -10,19 +10,13 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"strconv"
 	"strings"
-	"sync"
-	"time"
 
-	"asiccloud/internal/dram"
 	"asiccloud/internal/obs"
-	"asiccloud/internal/pareto"
 	"asiccloud/internal/server"
 	"asiccloud/internal/tco"
 	"asiccloud/internal/units"
@@ -228,224 +222,26 @@ func newExploreCounters(rec *obs.Recorder) exploreCounters {
 }
 
 // Explore runs the brute-force search in parallel and summarizes it.
-// An optional obs.Recorder (at most one; nil-safe no-op by default)
-// receives per-phase spans (grid build, sweep, Pareto extraction),
-// prune-reason counters, and per-worker utilization gauges, so existing
+// It is a compatibility wrapper over a fresh Engine, so no thermal-plan
+// cache survives between calls; long-lived callers that sweep
+// repeatedly (studies, figures, servers) should hold one Engine and use
+// its Explore/ExploreContext instead. An optional obs.Recorder (at most
+// one; nil-safe no-op by default) receives per-phase spans (grid build,
+// sweep, Pareto extraction), prune-reason counters, per-worker
+// utilization gauges and the engine's plan-cache counters, so existing
 // callers are untouched while instrumented ones see the whole search.
 func Explore(sweep Sweep, model tco.Model, recorder ...*obs.Recorder) (Result, error) {
+	return ExploreContext(context.Background(), sweep, model, recorder...)
+}
+
+// ExploreContext is Explore with cancellation and deadline support: see
+// Engine.ExploreContext for the contract on aborts and accounting.
+func ExploreContext(ctx context.Context, sweep Sweep, model tco.Model, recorder ...*obs.Recorder) (Result, error) {
 	var rec *obs.Recorder
 	if len(recorder) > 0 {
 		rec = recorder[0]
 	}
-	if err := model.Validate(); err != nil {
-		return Result{}, err
-	}
-	if err := sweep.Base.RCA.Validate(); err != nil {
-		return Result{}, err
-	}
-
-	root := rec.Span("explore")
-	defer root.End()
-	ctr := newExploreCounters(rec)
-
-	gridSpan := root.Child("grid_build")
-	voltages := sweep.Voltages
-	if len(voltages) == 0 {
-		voltages = VoltageGrid(sweep.Base.RCA.MinVoltage(), sweep.Base.RCA.MaxVoltage())
-	}
-	if len(voltages) == 0 {
-		gridSpan.End()
-		return Result{}, fmt.Errorf(
-			"core: empty voltage grid (RCA voltage range %.2f..%.2f V; need 0 <= lo <= hi)",
-			sweep.Base.RCA.MinVoltage(), sweep.Base.RCA.MaxVoltage())
-	}
-	silicon := sweep.SiliconPerLane
-	if len(silicon) == 0 {
-		silicon = DefaultSiliconPerLane()
-	}
-	chips := sweep.ChipsPerLane
-	if len(chips) == 0 {
-		chips = DefaultChipsPerLane()
-	}
-	drams := sweep.DRAMPerASIC
-	if len(drams) == 0 {
-		drams = []int{0}
-	}
-	stackedOptions := []bool{false}
-	if sweep.Stacked {
-		stackedOptions = append(stackedOptions, true)
-	}
-	// One geometry spawns this many candidate configurations.
-	perGeom := int64(len(stackedOptions)) * int64(len(voltages))
-
-	// Build the geometry work list, de-duplicating silicon targets that
-	// quantize to the same RCAs per chip.
-	type geom struct {
-		rcasPerChip int
-		chipsLane   int
-		dramPerASIC int
-	}
-	var summary PruneSummary
-	seen := make(map[geom]bool)
-	var work []geom
-	for _, sil := range silicon {
-		for _, n := range chips {
-			r := int(math.Round(sil / float64(n) / sweep.Base.RCA.Area))
-			if r < 1 {
-				// The whole (silicon, chips) cell — every DRAM count,
-				// stacking option and voltage — dies to quantization.
-				cell := int64(len(drams)) * perGeom
-				summary.Generated += cell
-				summary.add(PruneQuantization, cell)
-				continue
-			}
-			for _, d := range drams {
-				g := geom{rcasPerChip: r, chipsLane: n, dramPerASIC: d}
-				if seen[g] {
-					summary.Duplicates++
-					continue
-				}
-				seen[g] = true
-				work = append(work, g)
-			}
-		}
-	}
-	summary.Generated += int64(len(work)) * perGeom
-	ctr.configs.Add(summary.Generated)
-	ctr.quantized.Add(summary.Reasons[PruneQuantization])
-	ctr.duplicates.Add(summary.Duplicates)
-	gridSpan.End()
-	if len(work) == 0 {
-		return Result{Pruned: summary}, fmt.Errorf(
-			"core: empty design space: every silicon/chips combination quantizes below one RCA per chip (%s)",
-			summary)
-	}
-
-	sweepSpan := root.Child("sweep")
-	var (
-		mu     sync.Mutex
-		points []Point
-		wg     sync.WaitGroup
-	)
-	workCh := make(chan geom)
-	workers := runtime.GOMAXPROCS(0)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			var (
-				local      []Point
-				localSum   PruneSummary
-				workerFrom = time.Now()
-				busy       time.Duration
-			)
-			for g := range workCh {
-				geomFrom := time.Now()
-				cfg := sweep.Base
-				cfg.RCAsPerChip = g.rcasPerChip
-				cfg.ChipsPerLane = g.chipsLane
-				if g.dramPerASIC > 0 {
-					sub, err := dram.NewSubsystem(cfg.DRAM.Device.Kind, g.dramPerASIC)
-					if err != nil {
-						localSum.add(PruneDRAM, perGeom)
-						ctr.dramErr.Add(perGeom)
-						busy += time.Since(geomFrom)
-						continue
-					}
-					cfg.DRAM = sub
-				} else {
-					cfg.DRAM = dram.Subsystem{}
-				}
-				plan, err := server.ThermalPlan(cfg)
-				if err != nil {
-					// Geometry does not fit at any voltage.
-					localSum.add(PruneThermal, perGeom)
-					ctr.thermal.Add(perGeom)
-					busy += time.Since(geomFrom)
-					continue
-				}
-				for _, stacked := range stackedOptions {
-					cfg.Stacked = stacked
-					for i, v := range voltages {
-						cfg.Voltage = v
-						ev, err := server.EvaluateWithPlan(cfg, plan)
-						if err != nil {
-							if errors.Is(err, server.ErrThermal) {
-								// Chip heat grows monotonically with
-								// voltage: all higher voltages fail
-								// too, so prune the rest of the grid.
-								rest := int64(len(voltages) - i)
-								localSum.add(PruneThermal, rest)
-								ctr.thermal.Add(rest)
-								break
-							}
-							localSum.add(PruneEval, 1)
-							ctr.evalErr.Inc()
-							continue
-						}
-						b := model.Of(ev.DollarsPerOp, ev.WattsPerOp)
-						local = append(local, Point{Evaluation: ev, TCO: b})
-						localSum.Feasible++
-						ctr.feasible.Inc()
-					}
-				}
-				busy += time.Since(geomFrom)
-			}
-			if total := time.Since(workerFrom); total > 0 {
-				rec.Gauge("asiccloud_explore_worker_utilization",
-					"worker", strconv.Itoa(worker)).Set(busy.Seconds() / total.Seconds())
-			}
-			mu.Lock()
-			points = append(points, local...)
-			summary.merge(localSum)
-			mu.Unlock()
-		}(w)
-	}
-	for _, g := range work {
-		workCh <- g
-	}
-	close(workCh)
-	wg.Wait()
-	sweepSpan.End()
-
-	if len(points) == 0 {
-		return Result{Pruned: summary}, fmt.Errorf(
-			"core: no feasible design point in the swept space (%s)", summary)
-	}
-
-	paretoSpan := root.Child("pareto")
-	// Deterministic order regardless of scheduling.
-	sort.Slice(points, func(i, j int) bool {
-		a, b := points[i], points[j]
-		//lint:ignore floatcmp sort comparators need an exact total order; fuzzy ties break transitivity
-		if a.DollarsPerOp != b.DollarsPerOp {
-			return a.DollarsPerOp < b.DollarsPerOp
-		}
-		//lint:ignore floatcmp sort comparators need an exact total order; fuzzy ties break transitivity
-		if a.WattsPerOp != b.WattsPerOp {
-			return a.WattsPerOp < b.WattsPerOp
-		}
-		return a.Config.Voltage < b.Config.Voltage
-	})
-
-	res := Result{Points: points, Pruned: summary}
-	fr := pareto.Frontier(points,
-		func(p Point) float64 { return p.DollarsPerOp },
-		func(p Point) float64 { return p.WattsPerOp })
-	res.Frontier = pareto.Select(points, fr)
-
-	if i := pareto.ArgMin(points, func(p Point) float64 { return p.WattsPerOp }); i >= 0 {
-		res.EnergyOptimal = points[i]
-	}
-	if i := pareto.ArgMin(points, func(p Point) float64 { return p.DollarsPerOp }); i >= 0 {
-		res.CostOptimal = points[i]
-	}
-	if i := pareto.ArgMin(points, func(p Point) float64 { return p.TCOPerOp() }); i >= 0 {
-		res.TCOOptimal = points[i]
-	}
-	paretoSpan.End()
-	rec.Gauge("asiccloud_explore_frontier_size").Set(float64(len(res.Frontier)))
-	return res, nil
+	return NewEngine(rec).ExploreContext(ctx, sweep, model)
 }
 
 // Describe renders a point like the paper's per-application tables.

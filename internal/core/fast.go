@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"asiccloud/internal/dram"
@@ -10,15 +11,56 @@ import (
 	"asiccloud/internal/thermal"
 )
 
-// FindTCOOptimal locates the TCO-optimal design without sweeping every
-// voltage: per geometry it evaluates a coarse 0.05 V grid and then
-// refines ±0.04 V around the coarse winner at the full 0.01 V
-// resolution. TCO is smooth and single-troughed in voltage for a fixed
-// geometry (costs fall and watts rise monotonically), so the refinement
-// finds the same optimum as the brute force roughly five times faster —
-// useful inside sensitivity studies and interactive tools. Tests assert
-// agreement with Explore.
+// coarseStepV is the minimum spacing (V) of the fast path's first-pass
+// voltage subset. On the paper's dense 0.01 V grid the subset is the
+// classic every-fifth-point coarse grid.
+const coarseStepV = 0.05
+
+// FindTCOOptimal is the package-level fast path over a fresh Engine;
+// see Engine.FindTCOOptimal. Callers that also Explore should share one
+// Engine so both paths reuse the same thermal-plan cache.
 func FindTCOOptimal(sweep Sweep, model tco.Model) (Point, error) {
+	return NewEngine(nil).FindTCOOptimal(sweep, model)
+}
+
+// coarseIndices selects an ascending index subset of vs spaced at least
+// step volts apart, always starting at the first entry. vs must be
+// sorted ascending.
+func coarseIndices(vs []float64, step float64) []int {
+	idx := []int{0}
+	last := vs[0]
+	for i := 1; i < len(vs); i++ {
+		// The tolerance keeps 0.01-V-in-hundredths grids from skipping a
+		// coarse point to representation error.
+		if vs[i] >= last+step-1e-9 {
+			idx = append(idx, i)
+			last = vs[i]
+		}
+	}
+	return idx
+}
+
+// FindTCOOptimal locates the TCO-optimal design without sweeping every
+// voltage: per geometry it evaluates a coarse subset of the voltage
+// grid spaced at least 0.05 V apart, then refines over the grid points
+// strictly between the coarse neighbors of the winner. TCO is smooth
+// and single-troughed in voltage for a fixed geometry (costs fall and
+// watts rise monotonically), so the refinement finds the same optimum
+// as the brute force roughly five times faster — useful inside
+// sensitivity studies and interactive tools. Tests assert agreement
+// with Explore.
+//
+// Both passes draw only from the caller's voltage set: a non-empty
+// Sweep.Voltages is sorted, de-duplicated and then used as-is, so the
+// reported optimum always operates at one of the supplied voltages
+// (an earlier version rebuilt dense grids over [min, max], inventing
+// voltages a sparse or irregular list never contained). An empty set
+// selects the paper's dense grid, where the subset/refine split
+// reproduces the classic 0.05 V coarse pass with ±0.04 V refinement
+// exactly. Thermal plans come from the engine's geometry cache, so a
+// fast-path call after an Explore of the same space does no heat-sink
+// optimization at all.
+func (e *Engine) FindTCOOptimal(sweep Sweep, model tco.Model) (Point, error) {
 	if err := model.Validate(); err != nil {
 		return Point{}, err
 	}
@@ -26,15 +68,22 @@ func FindTCOOptimal(sweep Sweep, model tco.Model) (Point, error) {
 		return Point{}, err
 	}
 
-	minV := sweep.Base.RCA.MinVoltage()
-	maxV := sweep.Base.RCA.MaxVoltage()
-	if len(sweep.Voltages) > 0 {
-		minV, maxV = sweep.Voltages[0], sweep.Voltages[0]
-		for _, v := range sweep.Voltages {
-			minV = math.Min(minV, v)
-			maxV = math.Max(maxV, v)
+	voltages := sweep.Voltages
+	if len(voltages) > 0 {
+		var err error
+		if voltages, err = normalizeVoltages(voltages); err != nil {
+			return Point{}, err
 		}
+	} else {
+		voltages = VoltageGrid(sweep.Base.RCA.MinVoltage(), sweep.Base.RCA.MaxVoltage())
 	}
+	if len(voltages) == 0 {
+		return Point{}, fmt.Errorf(
+			"core: empty voltage grid (RCA voltage range %.2f..%.2f V; need 0 <= lo <= hi)",
+			sweep.Base.RCA.MinVoltage(), sweep.Base.RCA.MaxVoltage())
+	}
+	ci := coarseIndices(voltages, coarseStepV)
+
 	silicon := sweep.SiliconPerLane
 	if len(silicon) == 0 {
 		silicon = DefaultSiliconPerLane()
@@ -46,14 +95,6 @@ func FindTCOOptimal(sweep Sweep, model tco.Model) (Point, error) {
 	drams := sweep.DRAMPerASIC
 	if len(drams) == 0 {
 		drams = []int{0}
-	}
-
-	coarse := func(lo, hi, step float64) []float64 {
-		var out []float64
-		for c := int(math.Round(lo * 100)); c <= int(math.Round(hi*100)); c += int(math.Round(step * 100)) {
-			out = append(out, float64(c)/100)
-		}
-		return out
 	}
 
 	var best *Point
@@ -96,26 +137,34 @@ func FindTCOOptimal(sweep Sweep, model tco.Model) (Point, error) {
 				} else {
 					cfg.DRAM = dram.Subsystem{}
 				}
-				plan, err := server.ThermalPlan(cfg)
+				plan, err := e.thermalPlan(cfg)
 				if err != nil {
 					continue
 				}
 
-				// Coarse pass.
-				bestV, bestT := math.NaN(), math.Inf(1)
-				for _, v := range coarse(minV, maxV, 0.05) {
-					if t := consider(cfg, plan, v); t < bestT {
-						bestT, bestV = t, v
+				// Coarse pass over the spaced subset.
+				bestK, bestT := -1, math.Inf(1)
+				for k, i := range ci {
+					if t := consider(cfg, plan, voltages[i]); t < bestT {
+						bestT, bestK = t, k
 					}
 				}
-				if math.IsNaN(bestV) {
+				if bestK < 0 {
 					continue
 				}
-				// Refinement around the coarse winner.
-				lo := math.Max(minV, bestV-0.04)
-				hi := math.Min(maxV, bestV+0.04)
-				for _, v := range coarse(lo, hi, 0.01) {
-					consider(cfg, plan, v)
+				// Refine over the grid points strictly between the
+				// coarse neighbors of the winner — the only region where
+				// a better trough point can hide, given unimodality.
+				lo := 0
+				if bestK > 0 {
+					lo = ci[bestK-1] + 1
+				}
+				hi := len(voltages) - 1
+				if bestK < len(ci)-1 {
+					hi = ci[bestK+1] - 1
+				}
+				for i := lo; i <= hi; i++ {
+					consider(cfg, plan, voltages[i])
 				}
 			}
 		}

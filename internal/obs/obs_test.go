@@ -49,6 +49,9 @@ func TestNilSafety(t *testing.T) {
 	reg.Counter("x").Inc()
 	reg.Gauge("y").Set(1)
 	reg.Histogram("z", nil).Observe(1)
+	// core.NewEngine registers help text through a possibly-nil
+	// recorder's registry at construction time, before any sweep runs.
+	reg.SetHelp("x", "help on a nil registry is a no-op")
 	reg.WritePrometheus(io.Discard)
 	rec.Counter("x").Add(2)
 	rec.Gauge("y").Add(1)

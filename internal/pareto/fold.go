@@ -1,0 +1,104 @@
+package pareto
+
+import (
+	"math"
+	"sort"
+)
+
+// Fold is a bounded-memory streaming accumulator for the two-objective
+// Pareto frontier: points are folded in one at a time, dominated points
+// are discarded immediately, and only the current non-dominated set is
+// retained. Memory is O(frontier size) instead of O(points evaluated),
+// which is what lets an explorer drop full point retention for
+// frontier-only callers.
+//
+// The retained set is order-independent: folding the same multiset of
+// points in any order — or folding worker-local Folds into one with
+// Merge — yields the same set, because Pareto-maximality is a property
+// of the set, not of arrival order. Exact duplicates of retained points
+// are kept (dominance requires strict improvement somewhere), so
+// downstream tie-breaking over the survivors sees the same candidates a
+// full sort of all points would.
+//
+// Points with a NaN objective are ignored on Add, matching Frontier's
+// NaN filtering.
+//
+// A Fold is not safe for concurrent use; give each worker its own and
+// Merge under a lock.
+type Fold[T any] struct {
+	x, y func(T) float64
+	// pts is sorted by (x asc, y asc). Across distinct retained points y
+	// is strictly decreasing as x increases (the Pareto staircase); the
+	// only coincident entries are exact coordinate duplicates.
+	pts []T
+}
+
+// NewFold returns an empty fold over the two objective functions.
+func NewFold[T any](x, y func(T) float64) *Fold[T] {
+	return &Fold[T]{x: x, y: y}
+}
+
+// Len is the number of retained (non-dominated) points.
+func (f *Fold[T]) Len() int { return len(f.pts) }
+
+// Add folds one point in: a no-op if p is dominated by (or has a NaN
+// objective alongside) the retained set, otherwise p is inserted and
+// every retained point p dominates is dropped.
+func (f *Fold[T]) Add(p T) {
+	px, py := f.x(p), f.y(p)
+	if math.IsNaN(px) || math.IsNaN(py) {
+		return
+	}
+	// First retained index at or after p in (x asc, y asc) order.
+	pos := sort.Search(len(f.pts), func(i int) bool {
+		xi := f.x(f.pts[i])
+		//lint:ignore floatcmp the staircase invariant needs an exact lexicographic order over coordinates
+		if xi != px {
+			return xi > px
+		}
+		return f.y(f.pts[i]) >= py
+	})
+	// Only the nearest retained point to the left can dominate p: every
+	// point further left has larger-or-equal y by the staircase
+	// invariant, so it dominates p only if that neighbor does too.
+	if pos > 0 {
+		q := f.pts[pos-1]
+		if Dominates(f.x(q), f.y(q), px, py) {
+			return
+		}
+	}
+	// Points p dominates form a contiguous run at pos: they have x >= px
+	// and, until y drops below py, y >= py. Exact duplicates terminate
+	// the run immediately (neither point dominates the other).
+	end := pos
+	for end < len(f.pts) {
+		q := f.pts[end]
+		if !Dominates(px, py, f.x(q), f.y(q)) {
+			break
+		}
+		end++
+	}
+	if end > pos {
+		f.pts[pos] = p
+		f.pts = append(f.pts[:pos+1], f.pts[end:]...)
+		return
+	}
+	var zero T
+	f.pts = append(f.pts, zero)
+	copy(f.pts[pos+1:], f.pts[pos:])
+	f.pts[pos] = p
+}
+
+// Merge folds every point retained by o into f. o is not modified.
+func (f *Fold[T]) Merge(o *Fold[T]) {
+	for _, p := range o.pts {
+		f.Add(p)
+	}
+}
+
+// Points returns a copy of the retained set in (x asc, y asc) order.
+// Run Frontier over it to apply the standard duplicate tie-breaking;
+// the result is identical to Frontier over every point ever Added.
+func (f *Fold[T]) Points() []T {
+	return append([]T(nil), f.pts...)
+}

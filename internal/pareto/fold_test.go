@@ -1,0 +1,129 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestCompareNaN(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		a, b float64
+		want int
+	}{
+		{1, 2, -1}, {2, 1, 1}, {1, 1, 0},
+		{nan, 1, 1}, {1, nan, -1}, {nan, nan, 0},
+		{math.Inf(1), nan, -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDominatesNaN(t *testing.T) {
+	nan := math.NaN()
+	if Dominates(nan, 0, 1, 1) {
+		t.Error("a NaN coordinate must never dominate")
+	}
+	if Dominates(nan, nan, 1, 1) {
+		t.Error("an all-NaN point must never dominate")
+	}
+	if !Dominates(1, 1, nan, 1) {
+		t.Error("a real point should dominate a NaN-x point no better elsewhere")
+	}
+	if !Dominates(1, 1, nan, nan) {
+		t.Error("a real point should dominate an all-NaN point")
+	}
+}
+
+func TestArgMinNaN(t *testing.T) {
+	nan := math.NaN()
+	vals := []float64{nan, 3, 1, nan, 2}
+	if got := ArgMin(vals, func(v float64) float64 { return v }); got != 2 {
+		t.Fatalf("ArgMin = %d, want 2 (a leading NaN must not win)", got)
+	}
+	if got := ArgMin([]float64{nan, nan}, func(v float64) float64 { return v }); got != -1 {
+		t.Fatalf("all-NaN ArgMin = %d, want -1", got)
+	}
+	if got := ArgMin(nil, func(v float64) float64 { return v }); got != -1 {
+		t.Fatalf("empty ArgMin = %d, want -1", got)
+	}
+}
+
+func TestFrontierFiltersNaN(t *testing.T) {
+	nan := math.NaN()
+	pts := []pt{{nan, 0}, {1, 2}, {0, nan}, {2, 1}}
+	fr := Frontier(pts, xs, ys)
+	if !reflect.DeepEqual(fr, []int{1, 3}) {
+		t.Fatalf("Frontier = %v, want [1 3]", fr)
+	}
+	if fr := Frontier([]pt{{nan, nan}}, xs, ys); len(fr) != 0 {
+		t.Fatalf("all-NaN Frontier = %v, want empty", fr)
+	}
+}
+
+// frontierSet runs Frontier and returns the selected points.
+func frontierSet(pts []pt) []pt {
+	return Select(pts, Frontier(pts, xs, ys))
+}
+
+// randomPoints draws a deterministic cloud with exact duplicates, shared
+// coordinates and occasional NaN, the cases a streaming fold can get
+// wrong.
+func randomPoints(rng *rand.Rand, n int) []pt {
+	pts := make([]pt, 0, n)
+	for i := 0; i < n; i++ {
+		p := pt{float64(rng.Intn(20)), float64(rng.Intn(20))}
+		switch rng.Intn(10) {
+		case 0:
+			p.x = math.NaN()
+		case 1:
+			pts = append(pts, p) // exact duplicate
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+func TestFoldMatchesFrontier(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		pts := randomPoints(rng, 1+rng.Intn(60))
+		f := NewFold(xs, ys)
+		for _, p := range pts {
+			f.Add(p)
+		}
+		got := frontierSet(f.Points())
+		want := frontierSet(pts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: fold frontier %v != direct frontier %v (points %v)",
+				trial, got, want, pts)
+		}
+	}
+}
+
+func TestFoldMergeMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		pts := randomPoints(rng, 1+rng.Intn(60))
+		single := NewFold(xs, ys)
+		parts := []*Fold[pt]{NewFold(xs, ys), NewFold(xs, ys), NewFold(xs, ys)}
+		for i, p := range pts {
+			single.Add(p)
+			parts[i%len(parts)].Add(p)
+		}
+		merged := NewFold(xs, ys)
+		for _, part := range parts {
+			merged.Merge(part)
+		}
+		got := frontierSet(merged.Points())
+		want := frontierSet(single.Points())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merged frontier %v != single-fold frontier %v", trial, got, want)
+		}
+	}
+}

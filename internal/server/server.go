@@ -236,6 +236,51 @@ const (
 	immersionCostPerWatt = 0.08
 )
 
+// PlanInputs enumerates every Config field ThermalPlan's outcome
+// depends on — the cooling plan is a pure function of these values and
+// nothing else. The struct is comparable, so explorers can use it as a
+// memoization key: two configurations with equal PlanInputs receive
+// identical plans (or identical errors), no matter how their voltages,
+// power chains or economics differ. Keep this in sync with ThermalPlan;
+// a field read there but missing here silently poisons every cache
+// built on top.
+type PlanInputs struct {
+	// DieAreaMM2 is the full per-chip die area (mm²): RCAs plus DRAM
+	// controllers, fixed-function extras and the network endpoint.
+	DieAreaMM2 float64
+	// ChipsPerLane bounds sink depth (or board pitch under immersion).
+	ChipsPerLane int
+	// MaxDieAreaMM2 is the process's manufacturable die cap (mm²).
+	MaxDieAreaMM2 float64
+	// Immersion selects the two-phase boiling limit instead of the
+	// forced-air chain.
+	Immersion bool
+	// Layout is the PCB arrangement (normal / staggered / duct).
+	Layout thermal.Layout
+	// DRAMBoardDepthM is the lane depth the DRAM rows consume (m).
+	DRAMBoardDepthM float64
+	// InletTempC is the machine-room inlet override (°C; 0 selects the
+	// paper's 30 °C default).
+	InletTempC float64
+	// Fan is the fan model; its curve bounds the whole air chain.
+	Fan thermal.Fan
+}
+
+// PlanInputs projects the configuration onto the fields ThermalPlan
+// reads (see the PlanInputs type for the caching contract).
+func (c Config) PlanInputs() PlanInputs {
+	return PlanInputs{
+		DieAreaMM2:      c.DieArea(),
+		ChipsPerLane:    c.ChipsPerLane,
+		MaxDieAreaMM2:   c.Process.MaxDieArea,
+		Immersion:       c.Immersion,
+		Layout:          c.Layout,
+		DRAMBoardDepthM: c.DRAM.BoardDepth(),
+		InletTempC:      c.InletTempC,
+		Fan:             c.Fan,
+	}
+}
+
 func ThermalPlan(cfg Config) (thermal.OptimizeResult, error) {
 	dieArea := cfg.DieArea()
 	if dieArea > cfg.Process.MaxDieArea {

@@ -21,6 +21,13 @@ import (
 	"asiccloud/internal/vlsi"
 )
 
+// engine is shared by every study in the package: the studies perturb
+// TCO models and datacenter parameters far more often than server
+// geometry, so a thermal plan memoized by one study serves the rest
+// (the cache key covers every geometry-relevant field, so the studies
+// that do vary layout or cooling stay correct).
+var engine = core.NewEngine(nil)
+
 // quickSweep trims the Bitcoin design space to the region that contains
 // every optimum, so studies run in tens of milliseconds each.
 func quickSweep(base server.Config) core.Sweep {
@@ -56,7 +63,7 @@ func EnergyPriceStudy(prices []float64) ([]EnergyPricePoint, error) {
 		}
 		model := tco.Default()
 		model.ElectricityPerKWh = p
-		res, err := core.Explore(quickSweep(server.Default(bitcoin.RCA())), model)
+		res, err := engine.Explore(quickSweep(server.Default(bitcoin.RCA())), model)
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +97,7 @@ func LifetimeStudy(years []float64) ([]LifetimePoint, error) {
 		if y <= 0 {
 			return nil, fmt.Errorf("studies: non-positive lifetime %v", y)
 		}
-		res, err := core.Explore(quickSweep(server.Default(bitcoin.RCA())), tco.ForLifetime(y))
+		res, err := engine.Explore(quickSweep(server.Default(bitcoin.RCA())), tco.ForLifetime(y))
 		if err != nil {
 			return nil, err
 		}
@@ -119,7 +126,7 @@ func LayoutStudy() ([]LayoutPoint, error) {
 	for _, layout := range []thermal.Layout{thermal.LayoutNormal, thermal.LayoutStaggered, thermal.LayoutDuct} {
 		base := server.Default(bitcoin.RCA())
 		base.Layout = layout
-		res, err := core.Explore(quickSweep(base), tco.Default())
+		res, err := engine.Explore(quickSweep(base), tco.Default())
 		if err != nil {
 			return nil, fmt.Errorf("studies: layout %v: %w", layout, err)
 		}
@@ -147,7 +154,7 @@ func CoolingStudy() ([]CoolingPoint, error) {
 	for _, immersion := range []bool{false, true} {
 		base := server.Default(bitcoin.RCA())
 		base.Immersion = immersion
-		res, err := core.Explore(quickSweep(base), tco.Default())
+		res, err := engine.Explore(quickSweep(base), tco.Default())
 		if err != nil {
 			return nil, err
 		}
@@ -205,7 +212,7 @@ func NodeStudy() ([]NodePoint, error) {
 	for _, c := range cands {
 		base := server.Default(c.rca)
 		base.Process = c.process
-		res, err := core.Explore(quickSweep(base), tco.Default())
+		res, err := engine.Explore(quickSweep(base), tco.Default())
 		if err != nil {
 			return nil, fmt.Errorf("studies: node %s: %w", c.name, err)
 		}
@@ -243,7 +250,7 @@ func SiteStudy() ([]SitePoint, error) {
 		model.DCCapexPerWattYear = site.DCCapexPerWattYear
 		base := server.Default(bitcoin.RCA())
 		base.InletTempC = site.InletTempC
-		res, err := core.Explore(quickSweep(base), model)
+		res, err := engine.Explore(quickSweep(base), model)
 		if err != nil {
 			return nil, fmt.Errorf("studies: site %s: %w", site.Name, err)
 		}
@@ -278,7 +285,7 @@ func WaferPriceStudy(prices []float64) ([]WaferPricePoint, error) {
 		}
 		base := server.Default(bitcoin.RCA())
 		base.Process.WaferCost = p
-		res, err := core.Explore(quickSweep(base), tco.Default())
+		res, err := engine.Explore(quickSweep(base), tco.Default())
 		if err != nil {
 			return nil, err
 		}

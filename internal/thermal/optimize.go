@@ -37,6 +37,12 @@ type OptimizeResult struct {
 // "Iterative trials find the best heat sink configuration, optimizing
 // heat sink dimensions, material and fin topology." As chips per lane
 // grow, the optimum moves to shallower sinks to keep airflow up.
+//
+// OptimizeSink is a pure function of its arguments and the package's
+// material/geometry constants, and OptimizeResult is a plain value with
+// no pointers or slices, so results are safe to memoize and share
+// across goroutines — server.PlanInputs defines the cache key the
+// exploration engine uses for exactly that.
 func OptimizeSink(fan Fan, chips int, dieAreaMM2 float64, opt OptimizeOptions) (OptimizeResult, bool) {
 	if chips <= 0 || dieAreaMM2 <= 0 {
 		return OptimizeResult{}, false

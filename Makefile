@@ -1,13 +1,16 @@
 # Tier-1 gate: everything CI requires before a merge. The full suite
 # runs without the race detector; the concurrency-heavy packages (the
-# exploration engine and the pool server) re-run under -race, which is
-# where data races would actually live.
+# exploration engine, the pool server and the job service) re-run under
+# -race, which is where data races would actually live. The smoke test
+# boots a real asiccloudd, runs the quickstart sweep against it, and
+# diffs the daemon's answer against the CLI's.
 .PHONY: check
 check: build
 	go vet ./...
 	$(MAKE) lint
 	go test ./...
-	go test -race ./internal/core ./internal/cloud
+	go test -race ./internal/core ./internal/cloud ./internal/service
+	./scripts/smoke_service.sh
 
 # Domain-aware static analysis (unit discipline, float hygiene, error
 # propagation). Non-zero exit on any diagnostic; see README "Static
@@ -26,6 +29,9 @@ bench:
 	go run ./cmd/asiccloud design -app bitcoin -report-json BENCH_3.json
 	go test -run '^$$' -bench BenchmarkRepeatedSweep -benchtime 20x . \
 		| go run ./cmd/benchreport -into BENCH_3.json
+	go run ./cmd/asiccloud design -app bitcoin -report-json BENCH_4.json
+	go test -run '^$$' -bench BenchmarkServiceSweep -benchtime 20x . \
+		| go run ./cmd/benchreport -into BENCH_4.json
 
 .PHONY: test
 test:

@@ -9,12 +9,19 @@
 package asiccloud
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"asiccloud/internal/apps/bitcoin"
 	"asiccloud/internal/apps/cnn"
@@ -26,6 +33,7 @@ import (
 	"asiccloud/internal/core"
 	"asiccloud/internal/nre"
 	"asiccloud/internal/server"
+	"asiccloud/internal/service"
 	"asiccloud/internal/studies"
 	"asiccloud/internal/tco"
 	"asiccloud/internal/thermal"
@@ -542,4 +550,94 @@ func BenchmarkConvIm2col(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- asiccloudd: service-level result cache ------------------------------
+
+// serviceRoundTrip submits one sweep over HTTP and returns the result
+// body, polling the job to completion when it is not a cache hit.
+func serviceRoundTrip(b *testing.B, baseURL, body string) []byte {
+	b.Helper()
+	resp, err := http.Post(baseURL+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st service.StatusJSON
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	for st.State != service.StateDone {
+		if st.State == service.StateFailed || st.State == service.StateCanceled {
+			b.Fatalf("job %s: %s (%s)", st.ID, st.State, st.Error)
+		}
+		time.Sleep(200 * time.Microsecond)
+		r, err := http.Get(baseURL + "/v1/sweeps/" + st.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			b.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	r, err := http.Get(baseURL + "/v1/sweeps/" + st.ID + "/result")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Body.Close()
+	out, err := io.ReadAll(r.Body)
+	if err != nil || r.StatusCode != http.StatusOK {
+		b.Fatalf("result: %d %v", r.StatusCode, err)
+	}
+	return out
+}
+
+// BenchmarkServiceSweep measures asiccloudd end to end over HTTP on the
+// paper's full Bitcoin sweep. "cold" starts a fresh daemon per
+// iteration, so every submission runs on the engine; "cached" reuses one
+// daemon whose result cache is primed, so every submission is answered
+// from the LRU. benchreport turns the ratio into service_cache_speedup.
+func BenchmarkServiceSweep(b *testing.B) {
+	const body = `{"app":"bitcoin"}`
+	shutdown := func(s *service.Server, ts *httptest.Server) {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ref []byte
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := service.New(service.Config{Workers: 1}, nil)
+			ts := httptest.NewServer(s.Handler())
+			out := serviceRoundTrip(b, ts.URL, body)
+			shutdown(s, ts)
+			if ref == nil {
+				ref = out
+			} else if !bytes.Equal(ref, out) {
+				b.Fatal("cold service results drifted across daemons")
+			}
+		}
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		s := service.New(service.Config{Workers: 1}, nil)
+		ts := httptest.NewServer(s.Handler())
+		defer shutdown(s, ts)
+		warm := serviceRoundTrip(b, ts.URL, body) // prime the result cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := serviceRoundTrip(b, ts.URL, body)
+			if !bytes.Equal(warm, out) {
+				b.Fatal("cache hit served different bytes")
+			}
+		}
+		if ref != nil && !bytes.Equal(ref, warm) {
+			b.Fatal("cached result differs from the cold daemons' result")
+		}
+	})
 }

@@ -1,0 +1,91 @@
+// Command asiccloudd serves ASIC Cloud design-space exploration over
+// HTTP: sweeps are submitted as JSON jobs, run asynchronously on a
+// bounded worker pool sharing one exploration engine, and identical
+// requests are answered byte-for-byte from a result cache. See API.md
+// for the endpoint reference and DESIGN.md for the job lifecycle.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"asiccloud/internal/obs"
+	"asiccloud/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "asiccloudd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("asiccloudd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	workers := fs.Int("workers", 0, "concurrent sweep jobs (default 2)")
+	queueDepth := fs.Int("queue-depth", 0, "max jobs queued behind the pool (default 64)")
+	cacheEntries := fs.Int("cache-entries", 0, "result cache capacity (default 128, negative disables)")
+	defaultTimeout := fs.Duration("default-timeout", 0, "per-job timeout when the request names none (default 2m)")
+	maxTimeout := fs.Duration("max-timeout", 0, "clamp on request-supplied timeouts (default 10m)")
+	grace := fs.Duration("grace", 30*time.Second, "shutdown grace before in-flight sweeps are hard-canceled")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	rec := obs.NewRecorder()
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+	}, rec)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	// The smoke script and quickstart parse this line for the bound port,
+	// so it goes to stdout and stays machine-readable.
+	fmt.Printf("asiccloudd: listening on %s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "asiccloudd: %s received, draining (grace %s)\n", sig, *grace)
+	case err := <-errCh:
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Drain the job pool first so status endpoints stay reachable while
+	// in-flight sweeps finish, then close the listener.
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "asiccloudd: grace expired, in-flight sweeps canceled\n")
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && err != context.DeadlineExceeded {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "asiccloudd: stopped")
+	return nil
+}

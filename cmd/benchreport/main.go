@@ -8,7 +8,11 @@
 //	go test -run '^$' -bench BenchmarkRepeatedSweep . | benchreport -into BENCH_3.json
 //
 // Lines that are not benchmark results pass through to stdout, so the
-// command is transparent in a pipeline.
+// command is transparent in a pipeline. Any malformed input — a result
+// line whose ns/op field does not parse, a missing or unreadable report
+// file, a report that is not a JSON object — aborts with a non-zero
+// exit before the report file is touched, so a broken pipeline can
+// never leave a partial or silently wrong artifact behind.
 package main
 
 import (
@@ -16,68 +20,118 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
 )
 
 // resultLine matches e.g. "BenchmarkRepeatedSweep/warm-8   30   37843554 ns/op".
-var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// The optional -\d+ strips the GOMAXPROCS suffix so names are stable
+// across machines.
+var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\S+) ns/op`)
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("benchreport: ")
-	into := flag.String("into", "", "JSON report file to merge benchmark results into")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	into := fs.String("into", "", "JSON report file to merge benchmark results into")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
 	if *into == "" {
-		log.Fatal("usage: go test -bench ... | benchreport -into report.json")
+		return fmt.Errorf("usage: go test -bench ... | benchreport -into report.json")
 	}
 
-	results := make(map[string]float64)
-	sc := bufio.NewScanner(os.Stdin)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Println(line)
-		if m := resultLine.FindStringSubmatch(line); m != nil {
-			ns, err := strconv.ParseFloat(m[2], 64)
-			if err != nil {
-				continue
-			}
-			results[m[1]] = ns
-		}
-	}
-	if err := sc.Err(); err != nil {
-		log.Fatal(err)
+	results, err := parseBench(stdin, stdout)
+	if err != nil {
+		return err
 	}
 	if len(results) == 0 {
-		log.Fatal("no benchmark result lines on stdin")
+		return fmt.Errorf("no benchmark result lines on stdin (did the bench run fail, or was -bench unmatched?)")
 	}
 
-	raw, err := os.ReadFile(*into)
+	report, err := loadReport(*into)
 	if err != nil {
-		log.Fatal(err)
-	}
-	var report map[string]any
-	if err := json.Unmarshal(raw, &report); err != nil {
-		log.Fatalf("%s: %v", *into, err)
+		return err
 	}
 	report["benchmarks_ns_per_op"] = results
 
-	// The headline of the repeated-sweep benchmark: how much faster a
-	// warm plan cache makes an identical second sweep.
-	cold, okc := results["BenchmarkRepeatedSweep/cold"]
-	warm, okw := results["BenchmarkRepeatedSweep/warm"]
-	if okc && okw && warm > 0 {
-		report["plan_cache_speedup"] = cold / warm
+	// The headlines: how much faster a warm plan cache makes an
+	// identical engine sweep, and how much faster the daemon's result
+	// cache answers an identical HTTP submission.
+	if s, ok := speedup(results, "BenchmarkRepeatedSweep/cold", "BenchmarkRepeatedSweep/warm"); ok {
+		report["plan_cache_speedup"] = s
+	}
+	if s, ok := speedup(results, "BenchmarkServiceSweep/cold", "BenchmarkServiceSweep/cached"); ok {
+		report["service_cache_speedup"] = s
 	}
 
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := os.WriteFile(*into, append(out, '\n'), 0o644); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	log.Printf("merged %d benchmark results into %s", len(results), *into)
+	fmt.Fprintf(stdout, "benchreport: merged %d benchmark results into %s\n", len(results), *into)
+	return nil
+}
+
+// parseBench scans `go test -bench` output, echoing every line to out
+// and collecting result lines. A line that looks like a result but does
+// not parse is an error, not a skip: silently dropping it would produce
+// a report that claims the benchmark never ran.
+func parseBench(in io.Reader, out io.Writer) (map[string]float64, error) {
+	results := make(map[string]float64)
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(out, line)
+		m := resultLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed benchmark line %q: ns/op field %q: %v", line, m[2], err)
+		}
+		results[m[1]] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read stdin: %v", err)
+	}
+	return results, nil
+}
+
+// loadReport reads and validates the target report file.
+func loadReport(path string) (map[string]any, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("report file: %v (run `asiccloud ... -report-json %s` first)", err, path)
+	}
+	var report map[string]any
+	if err := json.Unmarshal(raw, &report); err != nil {
+		return nil, fmt.Errorf("report file %s is not a JSON object: %v", path, err)
+	}
+	if report == nil {
+		return nil, fmt.Errorf("report file %s is JSON null, not an object", path)
+	}
+	return report, nil
+}
+
+// speedup returns numerator/denominator when both benchmarks are
+// present and the denominator is positive.
+func speedup(results map[string]float64, num, den string) (float64, bool) {
+	n, okn := results[num]
+	d, okd := results[den]
+	if !okn || !okd || d <= 0 {
+		return 0, false
+	}
+	return n / d, true
 }

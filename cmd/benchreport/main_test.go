@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeReport seeds a minimal valid run report and returns its path.
+func writeReport(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const benchOutput = `goos: linux
+BenchmarkRepeatedSweep/cold-8         	      10	 40000000 ns/op
+BenchmarkRepeatedSweep/warm-8         	     100	 10000000 ns/op
+BenchmarkServiceSweep/cold-8          	      10	 50000000 ns/op
+BenchmarkServiceSweep/cached-8        	   10000	   100000 ns/op
+PASS
+`
+
+func TestMergeAndSpeedups(t *testing.T) {
+	path := writeReport(t, `{"command":"design"}`)
+	var out strings.Builder
+	if err := run([]string{"-into", path}, strings.NewReader(benchOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report map[string]any
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	bench, ok := report["benchmarks_ns_per_op"].(map[string]any)
+	if !ok || len(bench) != 4 {
+		t.Fatalf("benchmarks_ns_per_op = %v", report["benchmarks_ns_per_op"])
+	}
+	if got := report["plan_cache_speedup"].(float64); got != 4.0 {
+		t.Fatalf("plan_cache_speedup = %v, want 4", got)
+	}
+	if got := report["service_cache_speedup"].(float64); got != 500.0 {
+		t.Fatalf("service_cache_speedup = %v, want 500", got)
+	}
+	if report["command"] != "design" {
+		t.Fatal("existing report fields were not preserved")
+	}
+	// Bench lines pass through for the pipeline.
+	if !strings.Contains(out.String(), "BenchmarkRepeatedSweep/cold-8") {
+		t.Fatal("benchmark lines were not echoed to stdout")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	valid := `{"command":"design"}`
+	for name, tc := range map[string]struct {
+		argv   []string
+		stdin  string
+		report string // "" = do not create the file
+		want   string // substring of the error
+	}{
+		"missing -into":    {argv: nil, stdin: benchOutput, report: valid, want: "usage"},
+		"no bench lines":   {stdin: "goos: linux\nPASS\n", report: valid, want: "no benchmark result lines"},
+		"empty stdin":      {stdin: "", report: valid, want: "no benchmark result lines"},
+		"malformed ns/op":  {stdin: "BenchmarkX-8 10 1e999e9 ns/op\n", report: valid, want: "malformed benchmark line"},
+		"missing report":   {stdin: benchOutput, report: "", want: "report file"},
+		"report not json":  {stdin: benchOutput, report: "{broken", want: "not a JSON object"},
+		"report is array":  {stdin: benchOutput, report: "[1,2]", want: "not a JSON object"},
+		"report json null": {stdin: benchOutput, report: "null", want: "JSON null"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			argv := tc.argv
+			var path string
+			if tc.report != "" {
+				path = writeReport(t, tc.report)
+			} else {
+				path = filepath.Join(t.TempDir(), "absent.json")
+			}
+			if name != "missing -into" {
+				argv = []string{"-into", path}
+			}
+			var out strings.Builder
+			err := run(argv, strings.NewReader(tc.stdin), &out)
+			if err == nil {
+				t.Fatal("run succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			// The report file must be untouched on every error.
+			if tc.report != "" {
+				raw, _ := os.ReadFile(path)
+				if string(raw) != tc.report {
+					t.Fatal("report file was modified despite the error")
+				}
+			}
+		})
+	}
+}
+
+func TestSpeedupAbsentWhenBenchMissing(t *testing.T) {
+	path := writeReport(t, `{}`)
+	in := "BenchmarkRepeatedSweep/cold-8 10 40000000 ns/op\n"
+	var out strings.Builder
+	if err := run([]string{"-into", path}, strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	var report map[string]any
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := report["plan_cache_speedup"]; ok {
+		t.Fatal("plan_cache_speedup emitted although the warm benchmark is missing")
+	}
+}

@@ -1,13 +1,3 @@
-// Package bitcoin is the functional substrate of the paper's first ASIC
-// Cloud: a from-scratch SHA-256 implementation, the double-SHA mining
-// operation with midstate optimization, Bitcoin compact-target difficulty
-// arithmetic, the global-network difficulty simulator behind Figure 1,
-// and the published 28nm RCA specification (paper §2, §7).
-//
-// SHA-256 is implemented from the FIPS 180-4 specification rather than
-// wrapping crypto/sha256, because the RCA model needs visibility into the
-// round structure: the paper's Bitcoin RCA is a fully unrolled pipeline
-// of 128 one-clock stages, one per SHA-256 round across the two hashes.
 package bitcoin
 
 import "encoding/binary"

@@ -1,0 +1,12 @@
+// Package cnn is the functional substrate of the paper's Convolutional
+// Neural Network ASIC Cloud (paper §10): a real convolutional inference
+// engine whose layers can be partitioned across the 64 nodes of a
+// DaDianNao-style 8×8 mesh, plus the chip-partitioning model (how many
+// mesh nodes share a die, and which links become cheap on-chip NoC hops
+// versus board-level HyperTransport).
+//
+// Unlike the other applications, CNN exploration enumerates chip
+// partitionings of a fixed mesh rather than a core.Sweep over geometry
+// grids, so it is served by `asiccloud design -app cnn` only — the
+// asiccloudd HTTP service deliberately rejects it (see package service).
+package cnn

@@ -1,9 +1,3 @@
-// Package cnn is the functional substrate of the paper's Convolutional
-// Neural Network ASIC Cloud (paper §10): a real convolutional inference
-// engine whose layers can be partitioned across the 64 nodes of a
-// DaDianNao-style 8×8 mesh, plus the chip-partitioning model (how many
-// mesh nodes share a die, and which links become cheap on-chip NoC hops
-// versus board-level HyperTransport).
 package cnn
 
 import (

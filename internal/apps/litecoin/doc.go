@@ -1,0 +1,13 @@
+// Package litecoin is the functional substrate of the paper's second
+// ASIC Cloud: a from-scratch implementation of the scrypt proof-of-work
+// (RFC 7914) built on our own HMAC-SHA256, PBKDF2 and Salsa20/8, plus the
+// SRAM-dominated RCA specification (paper §8). "Litecoin ... employs the
+// Scrypt cryptographic hash ... and is intended to be dominated by
+// accesses to large SRAMs": each hash makes repeated sequential accesses
+// to a 128 KB scratchpad, which is exactly the ROMix V array below at
+// Litecoin's N=1024, r=1 parameters.
+//
+// RCA returns the published accelerator spec (performance in MH/s,
+// with the SRAM rail pinned at its retention voltage); it is the
+// "litecoin" application of both the CLI and the asiccloudd service.
+package litecoin

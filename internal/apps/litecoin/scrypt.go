@@ -1,11 +1,3 @@
-// Package litecoin is the functional substrate of the paper's second
-// ASIC Cloud: a from-scratch implementation of the scrypt proof-of-work
-// (RFC 7914) built on our own HMAC-SHA256, PBKDF2 and Salsa20/8, plus the
-// SRAM-dominated RCA specification (paper §8). "Litecoin ... employs the
-// Scrypt cryptographic hash ... and is intended to be dominated by
-// accesses to large SRAMs": each hash makes repeated sequential accesses
-// to a 128 KB scratchpad, which is exactly the ROMix V array below at
-// Litecoin's N=1024, r=1 parameters.
 package litecoin
 
 import (

@@ -1,12 +1,3 @@
-// Package xcode is the functional substrate of the paper's video
-// transcoding ASIC Cloud, "XCode" (paper §9): an H.265-style 8×8 integer
-// transform and sum-of-absolute-differences motion search — the two
-// kernels that dominate transcoding silicon — plus the DRAM-bound RCA
-// model from the ISSCC'15 0.5 nJ/pixel H.265 codec the paper cites.
-//
-// "Video Transcoding ASIC Clouds require DRAMs next to each ASIC, and
-// high off-PCB bandwidth": performance is set by DRAM count, not by RCA
-// count, and Pareto-optimal designs saturate the memory system.
 package xcode
 
 import "fmt"

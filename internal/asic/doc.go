@@ -1,0 +1,20 @@
+// Package asic is a cycle-level simulator of the paper's on-ASIC
+// architecture (Figure 2): "Each customized ASIC contains an array of
+// RCA's connected by an on-ASIC interconnection network, a router for
+// the on-PCB (but off-ASIC) network, a control plane that interprets
+// incoming packets from the on-PCB network and schedules computation and
+// data onto the RCA's, thermal sensors, and one or more PLL or CLK
+// generation circuits."
+//
+// The model: a W×H mesh of RCA tiles, each with a router, connected by
+// single-flit XY-routed links with two virtual networks (requests toward
+// tiles, replies toward the control plane) so the protocol is
+// deadlock-free; a control plane at the mesh edge that injects work
+// round-robin and collects results; and per-tile thermal sensors whose
+// readings throttle injection when a junction approaches its limit.
+//
+// Time is measured in cycles throughout; the simulator is functional
+// (jobs carry real payloads and results), so NoC behaviour can be
+// checked against the analytical bandwidth model in package
+// interconnect.
+package asic

@@ -1,14 +1,3 @@
-// Package cloud is the scale-out layer of an ASIC Cloud: a pool server
-// that distributes independent jobs to worker machines over TCP, in the
-// style of the third-party pool servers Bitcoin machines pull work from
-// ("Machines on the network request work to do from a third-party pool
-// server"), and of the paper's general model — "ASIC Clouds target
-// workloads consisting of many independent but similar jobs ... Work
-// requests from outside the datacenter will be distributed across these
-// RCAs in a scale-out fashion."
-//
-// The protocol is line-delimited JSON. Workers pull: they connect, say
-// hello, then alternate getwork requests and result submissions.
 package cloud
 
 import (

@@ -1,0 +1,29 @@
+// Package core implements the paper's design-space exploration
+// methodology — the primary contribution of "ASIC Clouds: Specializing
+// the Datacenter". Given an RCA spec, it employs "clever but brute-force
+// search to find the best jointly-optimized ASIC, DRAM subsystem,
+// motherboard, power delivery system, cooling system, operating voltage,
+// and case design": it sweeps operating voltage, silicon per lane, chips
+// per lane and DRAM count; prunes infeasible configurations; extracts
+// the Pareto frontier over $ per op/s and W per op/s; and selects the
+// energy-optimal, cost-optimal and TCO-optimal servers.
+//
+// # Entry points
+//
+// Explore runs one sweep with a throwaway engine; Engine is the reusable
+// form, whose thermal-plan cache makes repeated sweeps over the same
+// geometries (the studies/figures pattern, and the asiccloudd service)
+// largely cache hits. ExploreContext variants add cancellation and
+// deadlines: an aborted sweep returns the context's error, never a
+// partial Result. Sweep.Progress, when set, streams geometry-level
+// completion counts to the caller — asiccloudd forwards them to its job
+// status endpoint.
+//
+// # Units
+//
+// Voltages are in volts, silicon areas in mm² (the paper's convention),
+// frequencies in Hz, power in watts, cost in dollars; the Pareto metrics
+// are $ per op/s and W per op/s, where "op" is the application's own
+// performance unit (GH/s for Bitcoin, MH/s for Litecoin, Kfps for video
+// transcode).
+package core

@@ -249,7 +249,7 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 		// first ErrThermal, which is only sound on an ascending grid: a
 		// user-supplied unsorted list would prune voltages that are
 		// actually lower and feasible.
-		if voltages, err = normalizeVoltages(voltages); err != nil {
+		if voltages, err = NormalizeVoltages(voltages); err != nil {
 			gridSpan.End()
 			return Result{}, err
 		}
@@ -381,7 +381,10 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 					geomFrom := time.Now()
 					localSum.Generated += perGeom
 					ctr.configs.Add(perGeom)
-					processed.Add(1)
+					done := processed.Add(1)
+					if sweep.Progress != nil {
+						sweep.Progress(int(done), len(work))
+					}
 					cfg := sweep.Base
 					cfg.RCAsPerChip = g.rcasPerChip
 					cfg.ChipsPerLane = g.chipsLane
@@ -520,12 +523,15 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 	return res, nil
 }
 
-// normalizeVoltages returns a sorted, de-duplicated copy of a
-// user-supplied voltage grid, rejecting non-positive (or NaN) entries
-// outright — operating voltages are physical quantities, and both
-// Explore's thermal early break and FindTCOOptimal's coarse-then-refine
-// pass assume an ascending grid.
-func normalizeVoltages(vs []float64) ([]float64, error) {
+// NormalizeVoltages returns a sorted, de-duplicated copy of a
+// user-supplied voltage grid (V), rejecting non-positive (or NaN)
+// entries outright — operating voltages are physical quantities, and
+// both Explore's thermal early break and FindTCOOptimal's
+// coarse-then-refine pass assume an ascending grid. It is exported so
+// request canonicalizers (the asiccloudd service) can apply exactly the
+// normalization the engine will, making "same grid after normalization"
+// and "same request hash" the same statement.
+func NormalizeVoltages(vs []float64) ([]float64, error) {
 	out := make([]float64, 0, len(vs))
 	for _, v := range vs {
 		if math.IsNaN(v) || v <= 0 {

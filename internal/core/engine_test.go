@@ -208,12 +208,12 @@ func TestStackedEarlyBreakAccounting(t *testing.T) {
 }
 
 func TestNormalizeVoltages(t *testing.T) {
-	got, err := normalizeVoltages([]float64{0.5, 0.4, 0.5, 0.45, 0.4})
+	got, err := NormalizeVoltages([]float64{0.5, 0.4, 0.5, 0.45, 0.4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := []float64{0.4, 0.45, 0.5}
 	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("normalizeVoltages = %v, want %v", got, want)
+		t.Fatalf("NormalizeVoltages = %v, want %v", got, want)
 	}
 }

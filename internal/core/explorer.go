@@ -1,12 +1,3 @@
-// Package core implements the paper's design-space exploration
-// methodology — the primary contribution of "ASIC Clouds: Specializing
-// the Datacenter". Given an RCA spec, it employs "clever but brute-force
-// search to find the best jointly-optimized ASIC, DRAM subsystem,
-// motherboard, power delivery system, cooling system, operating voltage,
-// and case design": it sweeps operating voltage, silicon per lane, chips
-// per lane and DRAM count; prunes infeasible configurations; extracts
-// the Pareto frontier over $ per op/s and W per op/s; and selects the
-// energy-optimal, cost-optimal and TCO-optimal servers.
 package core
 
 import (
@@ -47,6 +38,16 @@ type Sweep struct {
 
 	// Stacked additionally evaluates voltage-stacked variants.
 	Stacked bool
+
+	// Progress, when non-nil, is invoked as each deduplicated geometry
+	// cell is claimed for evaluation, with the count of geometries
+	// claimed so far and the total in the work list. Long-running
+	// callers (the asiccloudd job service, TUIs) use it to report how
+	// far a sweep has advanced and to decide when to cancel. It is
+	// called concurrently from the sweep's worker goroutines, so it
+	// must be safe for concurrent use and cheap — an atomic store or a
+	// non-blocking send; a blocking callback stalls the sweep.
+	Progress func(done, total int)
 }
 
 // DefaultSiliconPerLane is the paper's silicon-per-lane series

@@ -71,7 +71,7 @@ func (e *Engine) FindTCOOptimal(sweep Sweep, model tco.Model) (Point, error) {
 	voltages := sweep.Voltages
 	if len(voltages) > 0 {
 		var err error
-		if voltages, err = normalizeVoltages(voltages); err != nil {
+		if voltages, err = NormalizeVoltages(voltages); err != nil {
 			return Point{}, err
 		}
 	} else {

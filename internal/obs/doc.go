@@ -1,0 +1,27 @@
+// Package obs is the repository's dependency-free observability layer:
+// a metrics registry (counters, gauges, histograms with fixed bucket
+// layouts), lightweight span-based tracing with hierarchical wall-clock
+// timings, a Prometheus-text / expvar / pprof HTTP exposition endpoint,
+// and a structured end-of-run report that serializes to JSON so perf
+// trajectories can be diffed mechanically across PRs.
+//
+// Everything is safe for concurrent use and nil-safe: methods on a nil
+// *Registry, *Recorder, *Counter, *Gauge, *Histogram or *Span are
+// no-ops, so instrumented code never needs to guard call sites. The
+// package uses only the standard library.
+//
+// # Entry points
+//
+// NewRecorder builds the root handle commands thread through the stack;
+// Serve (or Handler) exposes its Registry over HTTP; Instrument wraps
+// HTTP handlers with the standard request counter, latency histogram
+// and in-flight gauge, labeled by route pattern — never by raw path, so
+// label cardinality stays bounded. NewReport renders the end-of-run
+// summary.
+//
+// # Units
+//
+// Histograms that time things observe seconds; gauges and counters name
+// their unit in the metric name (…_seconds, …_total) following
+// Prometheus conventions.
+package obs

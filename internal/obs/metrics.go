@@ -1,14 +1,3 @@
-// Package obs is the repository's dependency-free observability layer:
-// a metrics registry (counters, gauges, histograms with fixed bucket
-// layouts), lightweight span-based tracing with hierarchical wall-clock
-// timings, a Prometheus-text / expvar / pprof HTTP exposition endpoint,
-// and a structured end-of-run report that serializes to JSON so perf
-// trajectories can be diffed mechanically across PRs.
-//
-// Everything is safe for concurrent use and nil-safe: methods on a nil
-// *Registry, *Recorder, *Counter, *Gauge, *Histogram or *Span are
-// no-ops, so instrumented code never needs to guard call sites. The
-// package uses only the standard library.
 package obs
 
 import (

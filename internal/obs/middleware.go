@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter captures the response code an inner handler writes so the
+// middleware can label its metrics with it. The zero status means the
+// handler never called WriteHeader, which net/http treats as 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Instrument wraps an HTTP handler with the registry's standard request
+// metrics:
+//
+//	asiccloud_http_requests_total{route,method,code}  counter
+//	asiccloud_http_request_seconds{route}             latency histogram (s)
+//	asiccloud_http_in_flight                          gauge
+//
+// route must be a bounded label — the mux pattern ("/v1/sweeps/{id}"),
+// never the raw request path, or a scanner walking random URLs mints
+// unbounded metric series. A nil registry yields a pass-through wrapper.
+func Instrument(reg *Registry, route string, next http.Handler) http.Handler {
+	reg.SetHelp("asiccloud_http_requests_total",
+		"HTTP requests served, by route pattern, method and status code")
+	reg.SetHelp("asiccloud_http_request_seconds",
+		"HTTP request latency in seconds, by route pattern")
+	reg.SetHelp("asiccloud_http_in_flight",
+		"HTTP requests currently being served")
+	inFlight := reg.Gauge("asiccloud_http_in_flight")
+	hist := reg.Histogram("asiccloud_http_request_seconds", nil, "route", route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inFlight.Add(1)
+		defer inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		from := time.Now()
+		next.ServeHTTP(sw, r)
+		hist.Observe(time.Since(from).Seconds())
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		reg.Counter("asiccloud_http_requests_total",
+			"route", route, "method", r.Method, "code", strconv.Itoa(code)).Inc()
+	})
+}

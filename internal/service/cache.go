@@ -1,0 +1,98 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"asiccloud/internal/obs"
+)
+
+// resultCache is a concurrency-safe LRU over marshaled result bytes,
+// keyed on the canonical request hash. Entries are immutable once
+// stored (the server never mutates a result after marshaling), so a hit
+// can hand out the stored slice without copying.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // hash -> element whose Value is *cacheEntry
+
+	hits, misses *obs.Counter
+	residency    *obs.Gauge
+}
+
+type cacheEntry struct {
+	hash string
+	data []byte
+}
+
+// newResultCache builds a cache holding up to max completed results;
+// max <= 0 disables caching (every Get misses, Put is a no-op).
+func newResultCache(max int, rec *obs.Recorder) *resultCache {
+	reg := rec.Registry()
+	reg.SetHelp("asiccloudd_cache_hits_total",
+		"sweep requests answered from the result cache")
+	reg.SetHelp("asiccloudd_cache_misses_total",
+		"sweep requests that had to run on the engine")
+	reg.SetHelp("asiccloudd_cache_entries",
+		"completed sweep results resident in the cache")
+	return &resultCache{
+		max:       max,
+		order:     list.New(),
+		entries:   make(map[string]*list.Element),
+		hits:      rec.Counter("asiccloudd_cache_hits_total"),
+		misses:    rec.Counter("asiccloudd_cache_misses_total"),
+		residency: rec.Gauge("asiccloudd_cache_entries"),
+	}
+}
+
+// Get returns the cached result bytes for a hash, promoting the entry
+// to most-recently-used, and counts the lookup as a hit or miss.
+func (c *resultCache) Get(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[hash]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).data, true
+}
+
+// Put stores result bytes under a hash, evicting the least recently
+// used entry when the cache is full. Re-putting an existing hash keeps
+// the first bytes: results are pure functions of the hash, so the
+// replacement could only be identical anyway, and keeping the original
+// preserves the byte-identity guarantee trivially.
+func (c *resultCache) Put(hash string, data []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[hash]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[hash] = c.order.PushFront(&cacheEntry{hash: hash, data: data})
+	if c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).hash)
+	}
+	c.residency.Set(float64(c.order.Len()))
+}
+
+// Len reports resident entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns hit/miss totals since the cache was created.
+func (c *resultCache) Stats() (hits, misses int64) {
+	return c.hits.Value(), c.misses.Value()
+}

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"asiccloud/internal/obs"
+)
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c := newResultCache(4, obs.NewRecorder())
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", []byte("result-a"))
+	got, ok := c.Get("a")
+	if !ok || string(got) != "result-a" {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2, obs.NewRecorder())
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	c.Get("a")               // promote a over b
+	c.Put("c", []byte("C"))  // evicts b, the least recently used
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction although it was least recently used")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s was evicted although it was recently used", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheRePutKeepsFirstBytes(t *testing.T) {
+	c := newResultCache(2, obs.NewRecorder())
+	first := []byte("first")
+	c.Put("a", first)
+	c.Put("a", []byte("second"))
+	got, _ := c.Get("a")
+	if !bytes.Equal(got, first) {
+		t.Fatalf("re-put replaced the stored bytes: %q", got)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1, obs.NewRecorder())
+	c.Put("a", []byte("A"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("disabled cache holds %d entries", c.Len())
+	}
+}
+
+func TestCacheNilRecorder(t *testing.T) {
+	// The cache must work without observability wired in.
+	c := newResultCache(8, nil)
+	for i := 0; i < 16; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if c.Len() != 8 {
+		t.Fatalf("len = %d, want 8", c.Len())
+	}
+}

@@ -1,0 +1,21 @@
+// Package service turns the design-space exploration engine into a
+// long-running HTTP job service: the substrate behind cmd/asiccloudd.
+//
+// A client POSTs a sweep request (an application name or a custom RCA
+// spec, a voltage grid in V, geometry ranges — silicon per lane in mm²,
+// chips per lane, DRAM devices per ASIC — and TCO model overrides) to
+// /v1/sweeps and receives a job ID. Jobs run asynchronously on a
+// bounded worker pool that shares one core.Engine, so every job
+// benefits from the engine's memoized thermal plans; GET /v1/sweeps/{id}
+// polls status and geometry-level progress, GET /v1/sweeps/{id}/result
+// returns the Pareto frontier and the energy-, cost- and TCO-optimal
+// points, and DELETE cancels the job via its context.
+//
+// Requests are canonicalized (defaults filled, grids sorted exactly as
+// the engine normalizes them) and hashed; completed results are
+// memoized in a concurrency-safe LRU keyed on that hash, so submitting
+// an identical sweep again serves the stored bytes without touching the
+// engine — the response is byte-identical to the first run's. See
+// API.md at the repository root for the HTTP contract and DESIGN.md for
+// the job lifecycle and the cache-coherence argument.
+package service

@@ -1,0 +1,177 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job's lifecycle phase. Transitions only move rightward:
+//
+//	queued -> running -> done | failed | canceled
+//	queued -> canceled            (canceled before a worker claimed it)
+//
+// A cache hit creates the job directly in state done with Cached set.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Job is one asynchronous sweep. All exported access goes through
+// methods; the engine's progress callback writes the atomic counters
+// without taking the mutex, so polling status never contends with the
+// sweep's workers.
+type Job struct {
+	id   string
+	hash string
+	can  Canonical
+
+	timeout time.Duration
+
+	mu       sync.Mutex
+	state    State
+	cached   bool
+	errMsg   string
+	result   []byte
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	userStop bool
+
+	geomsDone  atomic.Int64
+	geomsTotal atomic.Int64
+}
+
+// StatusJSON is the body of GET /v1/sweeps/{id} (and the POST reply).
+type StatusJSON struct {
+	// ID addresses the job in later calls.
+	ID string `json:"id"`
+	// State is queued, running, done, failed or canceled.
+	State State `json:"state"`
+	// RequestHash is the canonical hash of the submitted sweep.
+	RequestHash string `json:"request_hash"`
+	// Cached is true when the result was served from the result cache
+	// without running the engine.
+	Cached bool `json:"cached"`
+	// GeometriesDone and GeometriesTotal report sweep progress in
+	// deduplicated geometry cells (counts, not configurations: one cell
+	// spawns stacking x voltage candidates).
+	GeometriesDone  int64 `json:"geometries_done"`
+	GeometriesTotal int64 `json:"geometries_total"`
+	// CreatedAt, StartedAt and FinishedAt are RFC 3339 timestamps;
+	// Started/Finished are empty until reached.
+	CreatedAt  string `json:"created_at"`
+	StartedAt  string `json:"started_at,omitempty"`
+	FinishedAt string `json:"finished_at,omitempty"`
+	// Error holds the failure or cancellation reason for terminal
+	// non-done states.
+	Error string `json:"error,omitempty"`
+}
+
+// Status snapshots the job for JSON rendering.
+func (j *Job) Status() StatusJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := StatusJSON{
+		ID:              j.id,
+		State:           j.state,
+		RequestHash:     j.hash,
+		Cached:          j.cached,
+		GeometriesDone:  j.geomsDone.Load(),
+		GeometriesTotal: j.geomsTotal.Load(),
+		CreatedAt:       j.created.UTC().Format(time.RFC3339Nano),
+		Error:           j.errMsg,
+	}
+	if !j.started.IsZero() {
+		s.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		s.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return s
+}
+
+// snapshot returns the terminal fields needed by the result endpoint.
+func (j *Job) snapshot() (state State, result []byte, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.result, j.errMsg
+}
+
+// requestCancel cancels the job's context (if it has started) and marks
+// the cancellation as user-requested so the terminal state becomes
+// canceled rather than failed. Canceling a still-queued job completes
+// it immediately; canceling a terminal job is a harmless no-op.
+func (j *Job) requestCancel() {
+	j.mu.Lock()
+	switch j.state {
+	case StateDone, StateFailed, StateCanceled:
+		j.mu.Unlock()
+		return
+	case StateQueued:
+		j.userStop = true
+		j.state = StateCanceled
+		j.errMsg = "canceled before start"
+		j.finished = time.Now()
+		j.mu.Unlock()
+		return
+	}
+	j.userStop = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// claim moves a queued job to running and installs its cancel func. It
+// returns false when the job was canceled while waiting in the queue,
+// so the worker skips it.
+func (j *Job) claim(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// finish records the terminal state. A user-requested stop that
+// surfaces as a context error lands in canceled; every other error in
+// failed.
+func (j *Job) finish(result []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+	case j.userStop:
+		j.state = StateCanceled
+		j.errMsg = err.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+}
+
+// completeFromCache marks a freshly created job done with cached bytes.
+func (j *Job) completeFromCache(result []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateDone
+	j.cached = true
+	j.result = result
+	j.finished = time.Now()
+}

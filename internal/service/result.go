@@ -1,0 +1,111 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"asiccloud/internal/core"
+	"asiccloud/internal/units"
+)
+
+// PointJSON is the wire form of one design point: the configuration
+// coordinates the sweep chose plus the headline metrics, with units in
+// the field names. Describe carries the same human rendering the CLI
+// prints, so a daemon answer can be diffed against `asiccloud design`
+// output verbatim.
+type PointJSON struct {
+	// VoltageV is the logic operating voltage in V.
+	VoltageV float64 `json:"voltage_v"`
+	// ChipsPerLane and Lanes give the server organization.
+	ChipsPerLane int `json:"chips_per_lane"`
+	Lanes        int `json:"lanes"`
+	// RCAsPerChip is the replicated-accelerator count per die.
+	RCAsPerChip int `json:"rcas_per_chip"`
+	// DRAMPerASIC is the DRAM device count per ASIC.
+	DRAMPerASIC int `json:"dram_per_asic"`
+	// Stacked marks voltage-stacked power delivery.
+	Stacked bool `json:"stacked"`
+	// DieAreaMM2 is the per-chip die area in mm².
+	DieAreaMM2 float64 `json:"die_area_mm2"`
+	// FreqMHz is the operating clock in MHz.
+	FreqMHz float64 `json:"freq_mhz"`
+	// Perf is server throughput in the RCA's PerfUnit.
+	Perf float64 `json:"perf"`
+	// WallPowerW is wall power in W.
+	WallPowerW float64 `json:"wall_power_w"`
+	// CostUSD is the server bill of materials in $.
+	CostUSD float64 `json:"cost_usd"`
+	// DollarsPerOp and WattsPerOp are the two Pareto metrics ($ per
+	// op/s, W per op/s); TCOPerOp is the headline scalar ($ per op/s
+	// over the lifetime).
+	DollarsPerOp float64 `json:"dollars_per_op"`
+	WattsPerOp   float64 `json:"watts_per_op"`
+	TCOPerOp     float64 `json:"tco_per_op"`
+	// Describe is the CLI's one-line rendering of this point.
+	Describe string `json:"describe"`
+}
+
+// toPointJSON projects a core.Point onto the wire form.
+func toPointJSON(p core.Point) PointJSON {
+	return PointJSON{
+		VoltageV:     p.Config.Voltage,
+		ChipsPerLane: p.Config.ChipsPerLane,
+		Lanes:        p.Config.Lanes,
+		RCAsPerChip:  p.Config.RCAsPerChip,
+		DRAMPerASIC:  p.Config.DRAM.PerASIC,
+		Stacked:      p.Config.Stacked,
+		DieAreaMM2:   p.DieArea,
+		FreqMHz:      units.HzToMHz(p.Freq),
+		Perf:         p.Perf,
+		WallPowerW:   p.WallPower,
+		CostUSD:      p.Cost(),
+		DollarsPerOp: p.DollarsPerOp,
+		WattsPerOp:   p.WattsPerOp,
+		TCOPerOp:     p.TCOPerOp(),
+		Describe:     p.Describe(),
+	}
+}
+
+// ResultJSON is the body of GET /v1/sweeps/{id}/result.
+type ResultJSON struct {
+	// RequestHash is the canonical hash the result is cached under.
+	RequestHash string `json:"request_hash"`
+	// App and PerfUnit identify what the numbers measure.
+	App      string `json:"app"`
+	PerfUnit string `json:"perf_unit"`
+	// Pruned is the engine's exact candidate accounting.
+	Pruned core.PruneSummary `json:"pruned"`
+	// Frontier is the Pareto frontier, ascending in $ per op/s.
+	Frontier []PointJSON `json:"frontier"`
+	// EnergyOptimal, CostOptimal and TCOOptimal are the three columns
+	// of the paper's per-application tables.
+	EnergyOptimal PointJSON `json:"energy_optimal"`
+	CostOptimal   PointJSON `json:"cost_optimal"`
+	TCOOptimal    PointJSON `json:"tco_optimal"`
+}
+
+// marshalResult renders the engine's result to the exact bytes both the
+// first response and every later cache hit serve. Marshaling once at
+// job completion — rather than re-encoding per request — is what makes
+// "byte-identical on a cache hit" a structural guarantee instead of a
+// property of encoder stability.
+func marshalResult(c Canonical, res core.Result) ([]byte, error) {
+	out := ResultJSON{
+		RequestHash: c.Hash(),
+		App:         c.App,
+		PerfUnit:    c.RCA.PerfUnit,
+		Pruned:      res.Pruned,
+		Frontier:    make([]PointJSON, 0, len(res.Frontier)),
+		EnergyOptimal: toPointJSON(res.EnergyOptimal),
+		CostOptimal:   toPointJSON(res.CostOptimal),
+		TCOOptimal:    toPointJSON(res.TCOOptimal),
+	}
+	for _, p := range res.Frontier {
+		out.Frontier = append(out.Frontier, toPointJSON(p))
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		return nil, fmt.Errorf("service: marshal result: %w", err)
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,440 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asiccloud/internal/core"
+	"asiccloud/internal/obs"
+	"asiccloud/internal/tco"
+)
+
+// Config sizes the daemon. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the number of concurrent sweep jobs (default 2). Each
+	// sweep additionally parallelizes internally over EngineWorkers
+	// goroutines.
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running (default 64);
+	// a full queue turns POST /v1/sweeps into 503, which is the
+	// backpressure signal a load balancer retries against another
+	// replica.
+	QueueDepth int
+	// CacheEntries bounds the result LRU (default 128 results; <0
+	// disables caching).
+	CacheEntries int
+	// DefaultTimeout caps a job's run time when the request names none
+	// (default 2m).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied timeouts (default 10m).
+	MaxTimeout time.Duration
+	// EngineWorkers caps each sweep's internal parallelism (default
+	// GOMAXPROCS / Workers, at least 1), so a saturated pool does not
+	// oversubscribe the machine.
+	EngineWorkers int
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.EngineWorkers <= 0 {
+		c.EngineWorkers = runtime.GOMAXPROCS(0) / c.Workers
+		if c.EngineWorkers < 1 {
+			c.EngineWorkers = 1
+		}
+	}
+	return c
+}
+
+// Server is the exploration job service: a bounded worker pool over one
+// shared core.Engine, a job registry, and the result cache. Create it
+// with New; it is safe for concurrent use.
+type Server struct {
+	cfg    Config
+	rec    *obs.Recorder
+	engine *core.Engine
+	cache  *resultCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // creation order, for the list endpoint
+	queue    chan *Job
+	draining atomic.Bool
+	seq      atomic.Int64
+
+	workerWg sync.WaitGroup
+
+	// explore runs one sweep; tests substitute a fake to script slow or
+	// failing jobs deterministically.
+	explore func(ctx context.Context, sweep core.Sweep, model tco.Model) (core.Result, error)
+
+	queueDepth  *obs.Gauge
+	busyWorkers *obs.Gauge
+	sweepSecs   *obs.Histogram
+}
+
+// New builds the service and starts its worker pool. The recorder (nil
+// is a valid no-op) receives the service's own metrics plus everything
+// the shared engine records; mount Handler on an http.Server to serve
+// it, and call Shutdown to drain.
+func New(cfg Config, rec *obs.Recorder) *Server {
+	cfg = cfg.withDefaults()
+	reg := rec.Registry()
+	reg.SetHelp("asiccloudd_jobs_total", "sweep jobs reaching a terminal state, by state")
+	reg.SetHelp("asiccloudd_queue_depth", "jobs accepted but not yet claimed by a worker")
+	reg.SetHelp("asiccloudd_busy_workers", "pool workers currently running a sweep")
+	reg.SetHelp("asiccloudd_sweep_seconds", "wall-clock seconds per engine sweep (cache hits excluded)")
+	eng := core.NewEngine(rec)
+	eng.DiscardPoints = true // the API returns frontier + optima, never the full point set
+	eng.Workers = cfg.EngineWorkers
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:         cfg,
+		rec:         rec,
+		engine:      eng,
+		cache:       newResultCache(cfg.CacheEntries, rec),
+		baseCtx:     ctx,
+		baseCancel:  cancel,
+		jobs:        make(map[string]*Job),
+		queue:       make(chan *Job, cfg.QueueDepth),
+		queueDepth:  rec.Gauge("asiccloudd_queue_depth"),
+		busyWorkers: rec.Gauge("asiccloudd_busy_workers"),
+		sweepSecs:   rec.Histogram("asiccloudd_sweep_seconds", nil),
+	}
+	s.explore = s.engine.ExploreContext
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Engine exposes the shared engine (for CLI-vs-daemon comparisons and
+// cache-stat reporting).
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// worker drains the job queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.workerWg.Done()
+	for job := range s.queue {
+		s.queueDepth.Add(-1)
+		s.runJob(job)
+	}
+}
+
+// runJob executes one queued job end to end.
+func (s *Server) runJob(job *Job) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, job.timeout)
+	defer cancel()
+	if !job.claim(cancel) {
+		// Canceled while queued; requestCancel already finalized it.
+		s.rec.Counter("asiccloudd_jobs_total", "state", string(StateCanceled)).Inc()
+		return
+	}
+	s.busyWorkers.Add(1)
+	defer s.busyWorkers.Add(-1)
+
+	finish := func(result []byte, err error) {
+		job.finish(result, err)
+		state, _, _ := job.snapshot()
+		s.rec.Counter("asiccloudd_jobs_total", "state", string(state)).Inc()
+	}
+
+	sweep, model, err := job.can.Plan()
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	sweep.Progress = func(done, total int) {
+		job.geomsDone.Store(int64(done))
+		job.geomsTotal.Store(int64(total))
+	}
+	from := time.Now()
+	res, err := s.explore(ctx, sweep, model)
+	s.sweepSecs.Observe(time.Since(from).Seconds())
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	data, err := marshalResult(job.can, res)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	s.cache.Put(job.hash, data)
+	finish(data, nil)
+}
+
+// submit canonicalizes, consults the cache, and either completes the
+// job instantly (hit) or enqueues it (miss). The returned status is the
+// HTTP code the handler writes: 200 for a cache hit, 202 for an
+// accepted job, 400/503 with err for rejections.
+func (s *Server) submit(req *Request) (*Job, int, error) {
+	can, err := Canonicalize(req)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if req.TimeoutSeconds < 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("timeout_seconds must be >= 0")
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutSeconds > 0 {
+		timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	if s.draining.Load() {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("server is draining; not accepting new sweeps")
+	}
+	hash := can.Hash()
+	job := &Job{
+		id:      fmt.Sprintf("s%06d-%s", s.seq.Add(1), hash[:12]),
+		hash:    hash,
+		can:     can,
+		timeout: timeout,
+		created: time.Now(),
+		state:   StateQueued,
+	}
+
+	if data, ok := s.cache.Get(hash); ok {
+		job.completeFromCache(data)
+		s.mu.Lock()
+		s.register(job)
+		s.mu.Unlock()
+		return job, http.StatusOK, nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("server is draining; not accepting new sweeps")
+	}
+	select {
+	case s.queue <- job:
+		s.queueDepth.Add(1)
+	default:
+		return nil, http.StatusServiceUnavailable,
+			fmt.Errorf("job queue full (%d queued); retry later", s.cfg.QueueDepth)
+	}
+	s.register(job)
+	return job, http.StatusAccepted, nil
+}
+
+// register files a job in the registry; callers hold s.mu.
+func (s *Server) register(job *Job) {
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+}
+
+// lookup returns a registered job.
+func (s *Server) lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Shutdown drains the service: new submissions get 503 immediately,
+// queued and running jobs are allowed to finish, and the call returns
+// when the pool is idle. If ctx expires first, in-flight sweeps are
+// hard-canceled through their contexts (they stop within one geometry's
+// work) and the pool is still waited for, so no worker goroutine
+// outlives the call. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining.Swap(true) {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.workerWg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	// Error is a human-readable reason.
+	Error string `json:"error"`
+}
+
+// writeJSON writes a JSON response body with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	//lint:ignore droppederr a failed response write means the client went away; there is no one left to tell
+	_ = enc.Encode(v)
+}
+
+// writeError writes the uniform error body.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorJSON{Error: err.Error()})
+}
+
+// maxRequestBody bounds POST bodies (bytes); sweep requests are small.
+const maxRequestBody = 1 << 20
+
+// handleSubmit is POST /v1/sweeps.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// net/http closes the request body after the handler returns.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	job, code, err := s.submit(&req)
+	if err != nil {
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, code, job.Status())
+}
+
+// handleList is GET /v1/sweeps.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := struct {
+		Jobs []StatusJSON `json:"jobs"`
+	}{Jobs: make([]StatusJSON, 0, len(jobs))}
+	for _, j := range jobs {
+		out.Jobs = append(out.Jobs, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStatus is GET /v1/sweeps/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleResult is GET /v1/sweeps/{id}/result.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	state, result, errMsg := job.snapshot()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		//lint:ignore droppederr a failed response write means the client went away; there is no one left to tell
+		_, _ = w.Write(result)
+	case StateQueued, StateRunning:
+		writeJSON(w, http.StatusAccepted, job.Status())
+	case StateCanceled:
+		writeError(w, http.StatusConflict, fmt.Errorf("job canceled: %s", errMsg))
+	default: // StateFailed
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("sweep failed: %s", errMsg))
+	}
+}
+
+// handleCancel is DELETE /v1/sweeps/{id}.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	job.requestCancel()
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleHealthz is GET /v1/healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	hits, misses := s.cache.Stats()
+	writeJSON(w, code, struct {
+		Status      string `json:"status"`
+		Jobs        int    `json:"jobs"`
+		CacheHits   int64  `json:"cache_hits"`
+		CacheMisses int64  `json:"cache_misses"`
+	}{status, n, hits, misses})
+}
+
+// Handler returns the service's HTTP API plus the observability
+// endpoints (/metrics, /debug/vars, /debug/pprof/) of the recorder the
+// server was built with.
+func (s *Server) Handler() http.Handler {
+	reg := s.rec.Registry()
+	mux := http.NewServeMux()
+	route := func(pattern, label string, h http.HandlerFunc) {
+		mux.Handle(pattern, obs.Instrument(reg, label, h))
+	}
+	route("POST /v1/sweeps", "/v1/sweeps", s.handleSubmit)
+	route("GET /v1/sweeps", "/v1/sweeps", s.handleList)
+	route("GET /v1/sweeps/{id}", "/v1/sweeps/{id}", s.handleStatus)
+	route("GET /v1/sweeps/{id}/result", "/v1/sweeps/{id}/result", s.handleResult)
+	route("DELETE /v1/sweeps/{id}", "/v1/sweeps/{id}", s.handleCancel)
+	route("GET /v1/healthz", "/v1/healthz", s.handleHealthz)
+	oh := obs.Handler(reg)
+	mux.Handle("/metrics", oh)
+	mux.Handle("/debug/", oh)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no such endpoint %s", r.URL.Path))
+			return
+		}
+		fmt.Fprintln(w, "asiccloudd: POST /v1/sweeps, GET /v1/sweeps/{id}[/result], DELETE /v1/sweeps/{id}, /v1/healthz, /metrics, /debug/pprof/")
+	})
+	return mux
+}

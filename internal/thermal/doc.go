@@ -1,0 +1,24 @@
+// Package thermal is the server cooling substrate of the ASIC Cloud design
+// flow. It replaces the paper's ANSYS Icepak CFD runs with the validated
+// analytical model the paper actually sweeps: a TIM + spreader + fin-array
+// resistance network, commercial fan curves intersected with duct pressure
+// drops, serial air heating along a lane of ASICs, and layout efficiency
+// models for the Normal, Staggered and DUCT PCB arrangements (Figure 7).
+//
+// # Units
+//
+// Geometry is in metres, temperatures in °C (differences in kelvin), flow
+// in m³/s, pressure in pascals — except die area, which follows the
+// paper's convention of mm². Thermal resistances are K/W, conductivities
+// W/(m·K). Every exported quantity's doc states its unit; the asiclint
+// unitdoc analyzer enforces this.
+//
+// # Entry points
+//
+// OptimizeSink searches the heat-sink geometry for the maximum
+// sustainable per-chip power at a given lane — core.Engine memoizes its
+// result per geometry, which is the service's warm-sweep fast path.
+// Lane.Airflow couples the fan curve to the duct's pressure drop;
+// Lane.MaxChipPower inverts the resistance network to the paper's
+// per-chip power budget.
+package thermal

@@ -1,13 +1,3 @@
-// Package thermal is the server cooling substrate of the ASIC Cloud design
-// flow. It replaces the paper's ANSYS Icepak CFD runs with the validated
-// analytical model the paper actually sweeps: a TIM + spreader + fin-array
-// resistance network, commercial fan curves intersected with duct pressure
-// drops, serial air heating along a lane of ASICs, and layout efficiency
-// models for the Normal, Staggered and DUCT PCB arrangements (Figure 7).
-//
-// Geometry is in metres, temperatures in °C (differences in kelvin), flow
-// in m³/s, pressure in pascals — except die area, which follows the
-// paper's convention of mm².
 package thermal
 
 import "asiccloud/internal/units"

@@ -1,0 +1,25 @@
+// Package vlsi models the circuit-level inputs of the ASIC Cloud design
+// flow: the delay–voltage behaviour of 28nm logic (paper Figure 5), dynamic
+// and leakage power scaling, replicated compute accelerator (RCA)
+// specifications, wafer yield and die cost, and flip-chip packaging.
+//
+// The paper extracts these numbers from Synopsys place-and-route plus
+// PrimeTime power analysis of fully placed-and-routed designs in UMC 28nm.
+// This package substitutes an analytical model calibrated to every
+// operating point the paper publishes (see DESIGN.md).
+//
+// # Units
+//
+// Voltages are in volts, frequencies in Hz, areas in mm² (the paper's
+// convention), power densities in W/mm², wafer diameters in mm, costs in
+// dollars. Spec.NominalPerf is in the application's own performance unit
+// (Spec.PerfUnit). Every exported quantity's doc states its unit; the
+// asiclint unitdoc analyzer enforces this.
+//
+// # Entry points
+//
+// Default28nm is the calibrated process; Spec describes one RCA and is
+// the root input of every sweep — the CLI builds it from flags, the
+// asiccloudd service from the JSON rca object. Spec.Validate is the
+// single gate both front ends rely on.
+package vlsi

@@ -1,12 +1,3 @@
-// Package vlsi models the circuit-level inputs of the ASIC Cloud design
-// flow: the delay–voltage behaviour of 28nm logic (paper Figure 5), dynamic
-// and leakage power scaling, replicated compute accelerator (RCA)
-// specifications, wafer yield and die cost, and flip-chip packaging.
-//
-// The paper extracts these numbers from Synopsys place-and-route plus
-// PrimeTime power analysis of fully placed-and-routed designs in UMC 28nm.
-// This package substitutes an analytical model calibrated to every
-// operating point the paper publishes (see DESIGN.md).
 package vlsi
 
 import (

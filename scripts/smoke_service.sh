@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Smoke test for asiccloudd: build the daemon and the CLI, run one sweep
+# through the HTTP API, and check the three properties the service
+# guarantees — the daemon's TCO-optimal answer matches the CLI's
+# verbatim, an identical resubmission is served from the cache
+# byte-for-byte, and the cache-hit counter on /metrics accounts for it.
+# Run from the repository root (make check does).
+set -euo pipefail
+
+fail() { echo "smoke_service: FAIL: $*" >&2; exit 1; }
+
+for tool in curl jq; do
+    command -v "$tool" >/dev/null || fail "$tool not found on PATH"
+done
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -TERM "$daemon_pid" 2>/dev/null || true
+        wait "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "smoke_service: building asiccloudd and asiccloud"
+go build -o "$workdir/asiccloudd" ./cmd/asiccloudd
+go build -o "$workdir/asiccloud" ./cmd/asiccloud
+
+"$workdir/asiccloudd" -addr 127.0.0.1:0 >"$workdir/daemon.out" 2>"$workdir/daemon.err" &
+daemon_pid=$!
+
+# The daemon prints "asiccloudd: listening on HOST:PORT" once bound.
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^asiccloudd: listening on //p' "$workdir/daemon.out")
+    [[ -n "$addr" ]] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { cat "$workdir/daemon.err" >&2; fail "daemon exited during startup"; }
+    sleep 0.1
+done
+[[ -n "$addr" ]] || fail "daemon never reported its listen address"
+base="http://$addr"
+echo "smoke_service: daemon on $base"
+
+# Submit the quickstart sweep and poll the job to completion.
+curl -sf -X POST "$base/v1/sweeps" -d '{"app":"bitcoin"}' >"$workdir/post1.json" \
+    || fail "POST /v1/sweeps"
+job=$(jq -er .id "$workdir/post1.json")
+state="queued"
+for _ in $(seq 1 200); do
+    state=$(curl -sf "$base/v1/sweeps/$job" | jq -er .state)
+    [[ "$state" == "done" || "$state" == "failed" || "$state" == "canceled" ]] && break
+    sleep 0.1
+done
+[[ "$state" == "done" ]] || fail "job $job ended in state $state"
+curl -sf "$base/v1/sweeps/$job/result" >"$workdir/result1.json" || fail "GET result"
+
+# Property 1: the daemon's TCO-optimal point matches the CLI verbatim.
+daemon_line=$(jq -er .tco_optimal.describe "$workdir/result1.json")
+cli_line=$("$workdir/asiccloud" design -app bitcoin | sed -n 's/^TCO-optimal:[[:space:]]*//p')
+[[ -n "$cli_line" ]] || fail "CLI printed no TCO-optimal line"
+if [[ "$daemon_line" != "$cli_line" ]]; then
+    printf 'daemon: %s\nCLI:    %s\n' "$daemon_line" "$cli_line" >&2
+    fail "daemon and CLI disagree on the TCO-optimal design"
+fi
+echo "smoke_service: daemon TCO-optimal matches CLI"
+
+# Property 2: an identical resubmission is a cache hit with the exact
+# same bytes.
+curl -sf -X POST "$base/v1/sweeps" -d '{"app":"bitcoin"}' >"$workdir/post2.json" \
+    || fail "second POST"
+jq -e '.cached == true and .state == "done"' "$workdir/post2.json" >/dev/null \
+    || fail "second submission was not served from the cache"
+job2=$(jq -er .id "$workdir/post2.json")
+curl -sf "$base/v1/sweeps/$job2/result" >"$workdir/result2.json" || fail "GET cached result"
+cmp -s "$workdir/result1.json" "$workdir/result2.json" \
+    || fail "cached result is not byte-identical to the original"
+echo "smoke_service: cache hit is byte-identical"
+
+# Property 3: the hit shows up on /metrics.
+curl -sf "$base/metrics" >"$workdir/metrics.txt" || fail "GET /metrics"
+grep -q '^asiccloudd_cache_hits_total 1$' "$workdir/metrics.txt" \
+    || fail "/metrics does not show asiccloudd_cache_hits_total 1"
+echo "smoke_service: cache-hit counter accounted on /metrics"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+    cat "$workdir/daemon.err" >&2
+    fail "daemon exited non-zero on SIGTERM"
+fi
+daemon_pid=""
+echo "smoke_service: PASS"

@@ -8,16 +8,30 @@
 check: build
 	go vet ./...
 	$(MAKE) lint
+	$(MAKE) lint-json
 	go test ./...
 	go test -race ./internal/core ./internal/cloud ./internal/service
 	./scripts/smoke_service.sh
 
 # Domain-aware static analysis (unit discipline, float hygiene, error
-# propagation). Non-zero exit on any diagnostic; see README "Static
-# analysis" for the suppression syntax.
+# propagation, context/goroutine/lock dataflow). Non-zero exit on any
+# diagnostic; see README "Static analysis" for the suppression syntax.
 .PHONY: lint
 lint:
 	go run ./cmd/asiclint ./...
+
+# Machine-readable lint report for CI artifact collection. The target
+# still fails on findings; the JSON lands in results/ either way.
+.PHONY: lint-json
+lint-json:
+	mkdir -p results
+	go run ./cmd/asiclint -json ./... > results/lint.json
+
+# Lint only the files changed against a ref (default origin/main if it
+# exists, else HEAD): scripts/lint_changed.sh wraps `asiclint -diff`.
+.PHONY: lint-changed
+lint-changed:
+	./scripts/lint_changed.sh
 
 # Paper-table benchmarks plus a measured bitcoin sweep; the structured
 # run report (configs/sec, prune breakdown, frontier size, span timings,

@@ -1,17 +1,24 @@
 // Command asiclint runs the repository's domain-aware static-analysis
 // suite: unit-conversion discipline (unitconv), float-comparison hygiene
-// (floatcmp), error propagation (droppederr) and unit documentation
-// (unitdoc). It is stdlib-only and offline — packages are parsed and
-// type-checked by internal/analysis without external tooling.
+// (floatcmp), error propagation (droppederr), unit documentation
+// (unitdoc), context discipline (ctxflow), goroutine cancellation
+// (goroleak), locks held across blocking operations (lockheld) and
+// unit-mixing arithmetic (unitflow). The last four are dataflow-aware,
+// built on the control-flow graphs and call graph of
+// internal/analysis/cfg. It is stdlib-only and offline — packages are
+// parsed and type-checked by internal/analysis without external tooling.
 //
 // Usage:
 //
-//	asiclint [-json] [-analyzers a,b] [-list] [patterns ...]
+//	asiclint [-json] [-analyzers a,b] [-diff ref] [-list] [patterns ...]
 //
 // Patterns are directories, optionally ending in /... (default ./...).
-// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load error.
-// Suppress a finding with a trailing or immediately preceding
-// "//lint:ignore analyzer reason" comment.
+// With -diff, whole packages are still loaded and analyzed (dataflow
+// facts need complete packages) but only diagnostics in .go files that
+// changed versus the given git ref — committed, staged, unstaged or
+// untracked — are reported. Exit status: 0 clean, 1 diagnostics
+// reported, 2 usage or load error. Suppress a finding with a trailing
+// or immediately preceding "//lint:ignore analyzer reason" comment.
 package main
 
 import (
@@ -32,8 +39,9 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
 	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	diffRef := flag.String("diff", "", "only report diagnostics in files changed since this git ref")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: asiclint [-json] [-analyzers a,b] [-list] [patterns ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: asiclint [-json] [-analyzers a,b] [-diff ref] [-list] [patterns ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -77,6 +85,14 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "asiclint:", err)
 		return 2
+	}
+	if *diffRef != "" {
+		changed, err := analysis.ChangedFiles(cwd, *diffRef)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asiclint:", err)
+			return 2
+		}
+		diags = analysis.FilterFiles(diags, changed)
 	}
 	if *jsonOut {
 		if err := analysis.WriteJSON(os.Stdout, diags, cwd); err != nil {

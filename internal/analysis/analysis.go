@@ -5,7 +5,7 @@
 // (go/ast, go/parser, go/token, go/types) so that the lint gate works in
 // the offline build environment with zero external modules.
 //
-// The framework supplies four things:
+// The framework supplies five things:
 //
 //   - a Loader that parses and type-checks every package in the module,
 //     resolving module-internal imports itself and standard-library
@@ -14,12 +14,16 @@
 //   - a Runner that applies a set of analyzers to a set of packages and
 //     post-filters the diagnostics through //lint:ignore suppression
 //     directives (run.go, suppress.go);
+//   - run-wide dataflow facts shared by all analyzers: lazily built
+//     per-function control-flow graphs, a module-local call graph, and a
+//     doc-comment index, exposed as Pass.CFG, Pass.CallGraph and
+//     Pass.DocOf (facts.go, backed by internal/analysis/cfg);
 //   - text and JSON diagnostic formatting shared by cmd/asiclint and the
 //     self-test (run.go).
 //
 // The domain analyzers themselves live in subpackages (unitconv, floatcmp,
-// droppederr, unitdoc) and the curated repository-wide suite in
-// internal/analysis/suite.
+// droppederr, unitdoc, ctxflow, goroleak, lockheld, unitflow) and the
+// curated repository-wide suite in internal/analysis/suite.
 package analysis
 
 import (
@@ -49,7 +53,8 @@ type Analyzer struct {
 }
 
 // A Pass is the unit of work handed to an analyzer: one fully type-checked
-// package plus a sink for diagnostics.
+// package plus a sink for diagnostics and the run-wide dataflow facts
+// (per-function CFGs, the call graph and the doc index; see facts.go).
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -57,6 +62,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	facts  *Facts
 	report func(Diagnostic)
 }
 

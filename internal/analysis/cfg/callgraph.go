@@ -1,0 +1,103 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// A CallGraph is a lightweight, module-local call graph: for every
+// function or method declared in the packages added to it, the set of
+// named functions its body calls (including calls made from nested
+// function literals, which are attributed to the enclosing declaration).
+// It is name-resolution only — no virtual dispatch: a call through an
+// interface method edge goes to the interface method object, and calls
+// through function values go nowhere. That is exactly enough for the
+// asiclint analyzers, which use the graph to follow `go s.worker()`
+// into a concrete method body, not to prove completeness.
+type CallGraph struct {
+	decls map[*types.Func]*ast.FuncDecl
+	calls map[*types.Func][]*types.Func
+	infos map[*types.Func]*types.Info
+}
+
+// NewCallGraph returns an empty call graph.
+func NewCallGraph() *CallGraph {
+	return &CallGraph{
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		calls: make(map[*types.Func][]*types.Func),
+		infos: make(map[*types.Func]*types.Info),
+	}
+}
+
+// AddPackage indexes one type-checked package's declarations and call
+// edges. Call it once per package before querying.
+func (cg *CallGraph) AddPackage(info *types.Info, files []*ast.File) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			cg.decls[obj] = fd
+			cg.infos[obj] = info
+			if fd.Body == nil {
+				continue
+			}
+			seen := make(map[*types.Func]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := Callee(info, call); callee != nil && !seen[callee] {
+					seen[callee] = true
+					cg.calls[obj] = append(cg.calls[obj], callee)
+				}
+				return true
+			})
+			sort.Slice(cg.calls[obj], func(i, j int) bool {
+				return cg.calls[obj][i].FullName() < cg.calls[obj][j].FullName()
+			})
+		}
+	}
+}
+
+// DeclOf returns the declaration of fn, or nil when fn was not declared
+// in any added package (standard library, interface methods).
+func (cg *CallGraph) DeclOf(fn *types.Func) *ast.FuncDecl {
+	return cg.decls[fn]
+}
+
+// InfoOf returns the type information of the package that declared fn,
+// or nil when fn's package was not added. A cross-package analyzer needs
+// this to type expressions inside a callee's body: the Pass only carries
+// its own package's Info.
+func (cg *CallGraph) InfoOf(fn *types.Func) *types.Info {
+	return cg.infos[fn]
+}
+
+// Callees returns the named functions fn's body calls, in stable order.
+func (cg *CallGraph) Callees(fn *types.Func) []*types.Func {
+	return cg.calls[fn]
+}
+
+// Callee resolves the *types.Func a call expression invokes, or nil for
+// calls through function values, conversions and built-ins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

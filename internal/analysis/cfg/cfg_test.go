@@ -1,0 +1,481 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"asiccloud/internal/analysis/cfg"
+)
+
+// buildFirst parses src and builds the CFG of the first function decl.
+func buildFirst(t *testing.T, src string) (*cfg.Graph, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return cfg.Build(fd), fd
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+// reachable walks the graph from the entry block.
+func reachable(g *cfg.Graph) map[*cfg.Block]bool {
+	seen := make(map[*cfg.Block]bool)
+	var walk func(b *cfg.Block)
+	walk = func(b *cfg.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry())
+	return seen
+}
+
+// nodesText renders every node of the given blocks, for containment
+// assertions that do not depend on block layout.
+func nodesText(blocks []*cfg.Block) string {
+	var sb strings.Builder
+	for _, b := range blocks {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					sb.WriteString(id.Name)
+					sb.WriteString(" ")
+				}
+				return true
+			})
+		}
+	}
+	return sb.String()
+}
+
+func TestStraightLine(t *testing.T) {
+	g, _ := buildFirst(t, `package p
+func f() {
+	a := 1
+	b := a + 1
+	_ = b
+}`)
+	if len(g.Entry().Nodes) != 3 {
+		t.Errorf("entry block has %d nodes, want 3", len(g.Entry().Nodes))
+	}
+	if len(g.Entry().Succs) != 0 {
+		t.Errorf("straight-line entry should have no successors, got %d", len(g.Entry().Succs))
+	}
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g, _ := buildFirst(t, `package p
+func f(x int) int {
+	if x > 0 {
+		x++
+	} else {
+		x--
+	}
+	return x
+}`)
+	entry := g.Entry()
+	if len(entry.Succs) != 2 {
+		t.Fatalf("if condition should branch two ways, got %d", len(entry.Succs))
+	}
+	// Both branches must reach a common join holding the return.
+	join := entry.Succs[0].Succs
+	if len(join) != 1 || len(entry.Succs[1].Succs) != 1 || join[0] != entry.Succs[1].Succs[0] {
+		t.Fatalf("then/else do not join in one block")
+	}
+	if len(join[0].Nodes) != 1 {
+		t.Errorf("join block should hold the return, has %d nodes", len(join[0].Nodes))
+	}
+}
+
+func TestForLoopBackEdgeAndMembership(t *testing.T) {
+	g, fd := buildFirst(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	loops := g.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	blocks, ok := g.LoopBlocks(loops[0])
+	if !ok || len(blocks) < 2 {
+		t.Fatalf("LoopBlocks: ok=%v blocks=%d", ok, len(blocks))
+	}
+	txt := nodesText(blocks)
+	if !strings.Contains(txt, "s") || !strings.Contains(txt, "i") {
+		t.Errorf("loop blocks missing body/cond idents: %q", txt)
+	}
+	// The statement after the loop must not be inside the loop.
+	if strings.Contains(txt, "return") {
+		t.Errorf("loop membership leaked past the loop: %q", txt)
+	}
+	// There must be a back edge: some loop block's successor is an
+	// earlier loop block.
+	back := false
+	for _, b := range blocks {
+		for _, s := range b.Succs {
+			if s.Index <= b.Index {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Errorf("no back edge found in loop of %s", fd.Name.Name)
+	}
+}
+
+func TestInfiniteLoopHasNoExitFromHead(t *testing.T) {
+	g, _ := buildFirst(t, `package p
+func f() {
+	for {
+		g()
+	}
+}
+func g() {}`)
+	loops := g.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	blocks, _ := g.LoopBlocks(loops[0])
+	head := blocks[0]
+	for _, s := range head.Succs {
+		inLoop := false
+		for _, b := range blocks {
+			if s == b {
+				inLoop = true
+			}
+		}
+		if !inLoop {
+			t.Errorf("for{} head must only enter the body, found exit edge to block %d", s.Index)
+		}
+	}
+}
+
+func TestBreakLeavesLoop(t *testing.T) {
+	g, _ := buildFirst(t, `package p
+func f(n int) {
+	for {
+		if n > 0 {
+			break
+		}
+		n++
+	}
+	n = 0
+}`)
+	loops := g.Loops()
+	blocks, _ := g.LoopBlocks(loops[0])
+	inLoop := make(map[*cfg.Block]bool)
+	for _, b := range blocks {
+		inLoop[b] = true
+	}
+	// Some block in the loop must edge out of the loop (the break).
+	exits := 0
+	for _, b := range blocks {
+		for _, s := range b.Succs {
+			if !inLoop[s] {
+				exits++
+			}
+		}
+	}
+	if exits == 0 {
+		t.Error("break produced no exit edge from a for{} loop")
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g, _ := buildFirst(t, `package p
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`)
+	loops := g.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	if _, ok := loops[0].(*ast.RangeStmt); !ok {
+		t.Errorf("loop statement is %T, want *ast.RangeStmt", loops[0])
+	}
+	blocks, _ := g.LoopBlocks(loops[0])
+	if !strings.Contains(nodesText(blocks), "xs") {
+		t.Errorf("range operand not recorded in loop head: %q", nodesText(blocks))
+	}
+}
+
+func TestSwitchFanOutAndFallthrough(t *testing.T) {
+	g, _ := buildFirst(t, `package p
+func f(x int) int {
+	switch x {
+	case 1:
+		x = 10
+		fallthrough
+	case 2:
+		x = 20
+	default:
+		x = 30
+	}
+	return x
+}`)
+	entry := g.Entry()
+	// Entry fans out to the three clause bodies; with a default there is
+	// no direct edge to the join.
+	if len(entry.Succs) != 3 {
+		t.Fatalf("switch entry has %d successors, want 3 clauses", len(entry.Succs))
+	}
+	// The first clause falls through to the second: clause 1's block
+	// lists clause 2's block among its successors.
+	c1, c2 := entry.Succs[0], entry.Succs[1]
+	found := false
+	for _, s := range c1.Succs {
+		if s == c2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fallthrough edge from case 1 to case 2 missing")
+	}
+}
+
+func TestSwitchWithoutDefaultCanSkip(t *testing.T) {
+	g, _ := buildFirst(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+		x = 10
+	}
+	x = 99
+}`)
+	entry := g.Entry()
+	if len(entry.Succs) != 2 {
+		t.Fatalf("switch without default should edge to clause and join, got %d", len(entry.Succs))
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	g, _ := buildFirst(t, `package p
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case b <- 1:
+		return 1
+	}
+}`)
+	entry := g.Entry()
+	if len(entry.Succs) != 2 {
+		t.Fatalf("select should fan out to 2 clauses, got %d", len(entry.Succs))
+	}
+	// Each clause starts with its comm statement.
+	for i, c := range entry.Succs {
+		if len(c.Nodes) == 0 {
+			t.Errorf("select clause %d recorded no comm statement", i)
+		}
+	}
+}
+
+func TestReturnTerminatesBlock(t *testing.T) {
+	g, _ := buildFirst(t, `package p
+func f(x int) int {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}`)
+	reach := reachable(g)
+	for b := range reach {
+		for i, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok && i != len(b.Nodes)-1 {
+				t.Errorf("return is not the last node of block %d", b.Index)
+			}
+		}
+		if last := len(b.Nodes) - 1; last >= 0 {
+			if _, ok := b.Nodes[last].(*ast.ReturnStmt); ok && len(b.Succs) != 0 {
+				t.Errorf("block %d ends in return but has successors", b.Index)
+			}
+		}
+	}
+}
+
+func TestGotoAndLabels(t *testing.T) {
+	g, _ := buildFirst(t, `package p
+func f(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}`)
+	// The goto must produce a cycle: some reachable block reaches an
+	// earlier block.
+	cycle := false
+	for b := range reachable(g) {
+		for _, s := range b.Succs {
+			if s.Index <= b.Index {
+				cycle = true
+			}
+		}
+	}
+	if !cycle {
+		t.Error("goto loop produced no cycle in the CFG")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g, _ := buildFirst(t, `package p
+func f(n int) {
+outer:
+	for {
+		for {
+			if n > 0 {
+				break outer
+			}
+		}
+	}
+	n = 0
+}`)
+	loops := g.Loops()
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	// The outer loop (source order first) must have an exit edge even
+	// though both loops are for{}: the labeled break provides it.
+	blocks, _ := g.LoopBlocks(loops[0])
+	inLoop := make(map[*cfg.Block]bool)
+	for _, b := range blocks {
+		inLoop[b] = true
+	}
+	exits := 0
+	for _, b := range blocks {
+		for _, s := range b.Succs {
+			if !inLoop[s] {
+				exits++
+			}
+		}
+	}
+	if exits == 0 {
+		t.Error("break outer produced no exit edge")
+	}
+}
+
+func TestFuncLitBodiesAreOpaque(t *testing.T) {
+	g, _ := buildFirst(t, `package p
+func f() {
+	go func() {
+		for {
+		}
+	}()
+}`)
+	if len(g.Loops()) != 0 {
+		t.Errorf("nested func literal's loop leaked into enclosing graph")
+	}
+	fn := g.Fn.(*ast.FuncDecl)
+	var lit *ast.FuncLit
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if l, ok := n.(*ast.FuncLit); ok {
+			lit = l
+		}
+		return true
+	})
+	lg := cfg.Build(lit)
+	if len(lg.Loops()) != 1 {
+		t.Errorf("func literal's own graph should contain its loop, got %d", len(lg.Loops()))
+	}
+}
+
+func TestCallGraph(t *testing.T) {
+	src := `package p
+
+type S struct{ q chan int }
+
+func (s *S) worker() {
+	for range s.q {
+	}
+}
+
+func (s *S) start() {
+	go s.worker()
+}
+
+func helper() {}
+
+func top() {
+	helper()
+	f := func() { helper() }
+	f()
+}`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs: make(map[*ast.Ident]types.Object),
+		Uses: make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	cg := cfg.NewCallGraph()
+	cg.AddPackage(info, []*ast.File{f})
+
+	lookup := func(name string) *types.Func {
+		t.Helper()
+		if obj := pkg.Scope().Lookup(name); obj != nil {
+			return obj.(*types.Func)
+		}
+		// Method: find via the S type.
+		named := pkg.Scope().Lookup("S").Type().(*types.Named)
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i).Name() == name {
+				return named.Method(i)
+			}
+		}
+		t.Fatalf("object %s not found", name)
+		return nil
+	}
+
+	start := lookup("start")
+	callees := cg.Callees(start)
+	if len(callees) != 1 || callees[0].Name() != "worker" {
+		t.Fatalf("start's callees = %v, want [worker]", callees)
+	}
+	if cg.DeclOf(callees[0]) == nil {
+		t.Error("worker's declaration not indexed")
+	}
+	// Calls from nested func literals attribute to the enclosing decl.
+	top := lookup("top")
+	found := false
+	for _, c := range cg.Callees(top) {
+		if c.Name() == "helper" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("top's callees %v missing helper (called from literal too)", cg.Callees(top))
+	}
+}

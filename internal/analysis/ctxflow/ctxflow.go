@@ -1,0 +1,217 @@
+// Package ctxflow enforces context.Context discipline in the service-era
+// packages.
+//
+// The explorer became a long-running daemon (internal/service,
+// internal/cloud): exploration jobs are cancellable and every blocking
+// path is supposed to observe its context. Three patterns defeat that
+// and are flagged here:
+//
+//   - an infinite `for {}` loop in a function that has a context in
+//     scope but whose body never consults it — no ctx.Done()/ctx.Err(),
+//     no call that receives the context, no channel receive that could
+//     deliver cancellation. Such a loop spins until process exit no
+//     matter how many callers gave up;
+//   - context.Context stored in a struct field, which detaches the
+//     value's lifetime from any call and hides cancellation from
+//     readers (contexts are call-scoped by convention);
+//   - a context.Context parameter that is not the first parameter,
+//     which breaks the call-site convention the rest of the repository
+//     relies on.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"asiccloud/internal/analysis"
+	"asiccloud/internal/analysis/cfg"
+)
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flags infinite loops that never consult an in-scope context.Context, contexts stored " +
+		"in struct fields, and context parameters that are not the first parameter",
+	Match: func(pkgPath string) bool {
+		return strings.Contains(pkgPath, "internal/") || strings.Contains(pkgPath, "cmd/")
+	},
+	Run: run,
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	return t != nil && types.TypeString(t, nil) == "context.Context"
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				checkStructFields(pass, n)
+			case *ast.FuncDecl:
+				checkParamOrder(pass, n.Type)
+				if n.Body != nil {
+					checkLoops(pass, n, hasContextParam(pass, n.Type))
+				}
+				return false // checkLoops recurses into nested FuncLits itself
+			case *ast.FuncLit:
+				// Reached only for literals outside any FuncDecl (package
+				// variable initializers); literals inside bodies are handled
+				// by checkLoops' own recursion.
+				checkParamOrder(pass, n.Type)
+				checkLoops(pass, n, hasContextParam(pass, n.Type))
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStructFields flags context.Context struct fields.
+func checkStructFields(pass *analysis.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if !isContext(pass.TypeOf(field.Type)) {
+			continue
+		}
+		pos := field.Pos()
+		name := "embedded context.Context"
+		if len(field.Names) > 0 {
+			pos = field.Names[0].Pos()
+			name = "field " + field.Names[0].Name
+		}
+		pass.Reportf(pos, "%s stores a context.Context in a struct; contexts are call-scoped — "+
+			"pass ctx as the first parameter instead, or //lint:ignore with a lifecycle justification", name)
+	}
+}
+
+// checkParamOrder flags context.Context parameters that are not first.
+func checkParamOrder(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0 // flattened parameter index
+	for gi, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContext(pass.TypeOf(field.Type)) && gi > 0 {
+			// Some parameter group precedes the context group.
+			p := field.Pos()
+			if len(field.Names) > 0 {
+				p = field.Names[0].Pos()
+			}
+			pass.Reportf(p, "context.Context is parameter %d; make it the first parameter so "+
+				"call sites follow the ctx-first convention", pos)
+		}
+		pos += n
+	}
+}
+
+// hasContextParam reports whether the function type declares a usable
+// (named, non-blank) context.Context parameter.
+func hasContextParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if !isContext(pass.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkLoops walks fn's CFG and flags infinite for-loops that never
+// consult the in-scope context. It then recurses into nested function
+// literals, which inherit the enclosing scope's context (captured
+// variables cancel just as well as parameters).
+func checkLoops(pass *analysis.Pass, fn ast.Node, ctxInScope bool) {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return
+	}
+	if ctxInScope {
+		g := pass.CFG(fn)
+		for _, s := range g.Loops() {
+			fs, ok := s.(*ast.ForStmt)
+			if !ok || fs.Cond != nil {
+				continue // bounded or condition-driven loop; range loops end with their producer
+			}
+			blocks, _ := g.LoopBlocks(s)
+			if !loopConsultsContext(pass, blocks) {
+				pass.Reportf(fs.Pos(), "infinite loop never consults the in-scope context: no "+
+					"ctx.Done()/ctx.Err() check, no call receiving ctx, and no channel receive on any path; "+
+					"cancellation cannot stop it")
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkParamOrder(pass, lit.Type)
+			checkLoops(pass, lit, ctxInScope || hasContextParam(pass, lit.Type))
+			return false
+		}
+		return true
+	})
+}
+
+// loopConsultsContext scans the loop's blocks (excluding nested function
+// literals, which run on their own goroutine or call) for any of the
+// three accepted cancellation consultations: a ctx.Done()/ctx.Err()
+// selector, a call taking a context argument, or a channel receive —
+// the last because a blocked receive hands pacing to a producer that can
+// close the channel.
+func loopConsultsContext(pass *analysis.Pass, blocks []*cfg.Block) bool {
+	for _, b := range blocks {
+		for _, node := range b.Nodes {
+			found := false
+			ast.Inspect(node, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.SelectorExpr:
+					if (n.Sel.Name == "Done" || n.Sel.Name == "Err") && isContext(pass.TypeOf(n.X)) {
+						found = true
+						return false
+					}
+				case *ast.CallExpr:
+					for _, arg := range n.Args {
+						if isContext(pass.TypeOf(arg)) {
+							found = true
+							return false
+						}
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"asiccloud/internal/analysis/atest"
+	"asiccloud/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	atest.Run(t, ctxflow.Analyzer, "ctxflow", atest.Config{})
+}

@@ -1,0 +1,99 @@
+// Package fixture exercises ctxflow: infinite loops that ignore an
+// in-scope context, contexts stored in structs, and context parameters
+// out of position.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// badHolder stores a context in a struct: flagged.
+type badHolder struct {
+	ctx context.Context
+	n   int
+}
+
+// okHolder has no context field: clean.
+type okHolder struct{ n int }
+
+// badOrder takes ctx second: flagged.
+func badOrder(n int, ctx context.Context) {}
+
+// okOrder takes ctx first: clean.
+func okOrder(ctx context.Context, n int) {}
+
+// spin never consults ctx inside its infinite loop: flagged.
+func spin(ctx context.Context) {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// politeErr polls ctx.Err on every iteration: clean.
+func politeErr(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		step()
+	}
+}
+
+// politeSelect blocks on ctx.Done and a ticker: clean.
+func politeSelect(ctx context.Context, tick <-chan time.Time) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick:
+			step()
+		}
+	}
+}
+
+// delegates hands ctx to its callee, which is accepted as consultation:
+// clean here (the callee is responsible for observing it).
+func delegates(ctx context.Context) {
+	for {
+		step2(ctx)
+	}
+}
+
+// bounded loops have a condition; only `for {}` is flagged: clean.
+func bounded(ctx context.Context) {
+	for i := 0; i < 10; i++ {
+		step()
+	}
+}
+
+// noCtx has no context in scope, so its infinite loop is out of this
+// analyzer's jurisdiction: clean.
+func noCtx() {
+	for {
+		step()
+	}
+}
+
+// nested starts a goroutine whose loop ignores the captured ctx: the
+// literal inherits the enclosing scope's context and is flagged.
+func nested(ctx context.Context) {
+	go func() {
+		for {
+			step()
+		}
+	}()
+}
+
+// receives blocks on a channel each iteration, which hands pacing to the
+// producer: clean.
+func receives(ctx context.Context, jobs <-chan int) {
+	for {
+		j := <-jobs
+		_ = j
+	}
+}
+
+func step()                       {}
+func step2(ctx context.Context)   {}
+func use(a badHolder, b okHolder) { _, _ = a, b }

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// ChangedFiles returns the absolute paths of the .go files that differ
+// between the working tree and the given git ref (committed, staged or
+// unstaged changes), plus untracked .go files. It shells out to git in
+// root, which must be inside a repository. This powers `asiclint -diff`:
+// CI lints a PR's own files without re-litigating legacy code.
+func ChangedFiles(root, ref string) ([]string, error) {
+	// git prints paths relative to the repository toplevel, which may be
+	// above root when linting a subdirectory of a larger repo.
+	top, err := gitLines(root, "rev-parse", "--show-toplevel")
+	if err != nil || len(top) == 0 || top[0] == "" {
+		return nil, fmt.Errorf("analysis: %s is not inside a git repository: %w", root, err)
+	}
+	base := filepath.FromSlash(top[0])
+	diff, err := gitLines(root, "diff", "--name-only", ref, "--", "*.go")
+	if err != nil {
+		return nil, fmt.Errorf("analysis: git diff --name-only %s: %w", ref, err)
+	}
+	untracked, err := gitLines(root, "ls-files", "--others", "--exclude-standard", "--", "*.go")
+	if err != nil {
+		return nil, fmt.Errorf("analysis: git ls-files --others: %w", err)
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, rel := range append(diff, untracked...) {
+		if rel == "" || !strings.HasSuffix(rel, ".go") {
+			continue
+		}
+		abs := filepath.Join(base, filepath.FromSlash(rel))
+		if !seen[abs] {
+			seen[abs] = true
+			out = append(out, abs)
+		}
+	}
+	return out, nil
+}
+
+func gitLines(root string, args ...string) ([]string, error) {
+	cmd := exec.Command("git", args...)
+	cmd.Dir = root
+	b, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("%w: %s", err, strings.TrimSpace(string(ee.Stderr)))
+		}
+		return nil, err
+	}
+	return strings.Split(strings.TrimRight(string(b), "\n"), "\n"), nil
+}
+
+// FilterFiles keeps only diagnostics positioned in one of the given
+// files (absolute paths). Suppression-directive diagnostics (pseudo-
+// analyzer "lint") are filtered like any other: a stale directive in an
+// untouched file is not this change's problem.
+func FilterFiles(diags []Diagnostic, files []string) []Diagnostic {
+	keep := make(map[string]bool, len(files))
+	for _, f := range files {
+		keep[f] = true
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if keep[d.Pos.Filename] {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package analysis_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"asiccloud/internal/analysis"
+)
+
+// initTestRepo builds a throwaway git repository with one committed .go
+// file and returns its root.
+func initTestRepo(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not available")
+	}
+	root := t.TempDir()
+	git := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{
+			"-c", "user.name=test", "-c", "user.email=test@example.com",
+		}, args...)...)
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	git("init", "-q")
+	write(t, root, "committed.go", "package p\n")
+	write(t, root, "notes.txt", "not go\n")
+	git("add", ".")
+	git("commit", "-q", "-m", "seed")
+	return root
+}
+
+func write(t *testing.T, root, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(root, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChangedFiles(t *testing.T) {
+	root := initTestRepo(t)
+
+	// Nothing changed yet.
+	files, err := analysis.ChangedFiles(root, "HEAD")
+	if err != nil {
+		t.Fatalf("ChangedFiles on clean tree: %v", err)
+	}
+	if len(files) != 0 {
+		t.Fatalf("clean tree: want no changed files, got %v", files)
+	}
+
+	// An unstaged edit, an untracked .go file and an untracked non-Go
+	// file: the first two must show up, the last must not.
+	write(t, root, "committed.go", "package p\n\nvar x = 1\n")
+	write(t, root, "fresh.go", "package p\n")
+	write(t, root, "more.txt", "still not go\n")
+
+	files, err = analysis.ChangedFiles(root, "HEAD")
+	if err != nil {
+		t.Fatalf("ChangedFiles: %v", err)
+	}
+	want := map[string]bool{
+		filepath.Join(root, "committed.go"): true,
+		filepath.Join(root, "fresh.go"):     true,
+	}
+	if len(files) != len(want) {
+		t.Fatalf("changed files: got %v, want keys of %v", files, want)
+	}
+	for _, f := range files {
+		if !want[f] {
+			t.Errorf("unexpected changed file %s", f)
+		}
+		if !filepath.IsAbs(f) {
+			t.Errorf("changed file %s is not absolute", f)
+		}
+	}
+}
+
+func TestChangedFilesBadRef(t *testing.T) {
+	root := initTestRepo(t)
+	if _, err := analysis.ChangedFiles(root, "no-such-ref"); err == nil {
+		t.Fatal("ChangedFiles with bogus ref: want error, got nil")
+	}
+}
+
+func TestFilterFiles(t *testing.T) {
+	mk := func(file string, line int) analysis.Diagnostic {
+		var d analysis.Diagnostic
+		d.Pos.Filename = file
+		d.Pos.Line = line
+		d.Analyzer = "x"
+		d.Message = "m"
+		return d
+	}
+	diags := []analysis.Diagnostic{
+		mk("/repo/a.go", 1),
+		mk("/repo/b.go", 2),
+		mk("/repo/a.go", 3),
+	}
+	got := analysis.FilterFiles(diags, []string{"/repo/a.go"})
+	if len(got) != 2 {
+		t.Fatalf("FilterFiles: got %d diagnostics, want 2: %v", len(got), got)
+	}
+	for _, d := range got {
+		if d.Pos.Filename != "/repo/a.go" {
+			t.Errorf("diagnostic leaked through filter: %v", d)
+		}
+	}
+	if got := analysis.FilterFiles(diags, nil); len(got) != 0 {
+		t.Errorf("empty file set: want no diagnostics, got %v", got)
+	}
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"asiccloud/internal/analysis/atest"
+	"asiccloud/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	atest.Run(t, goroleak.Analyzer, "goroleak", atest.Config{})
+}

@@ -1,0 +1,66 @@
+// Package fixture exercises goroleak: go statements with and without a
+// visible cancellation edge.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	queue chan int
+}
+
+// worker drains the server's work channel; closing the channel stops it.
+func (s *server) worker() {
+	for j := range s.queue {
+		_ = j
+	}
+}
+
+// supervise has no channel expressions of its own but calls worker,
+// whose range-over-channel is found transitively through the call graph.
+func supervise(s *server) {
+	s.worker()
+}
+
+// helperSpin has no cancellation edge anywhere.
+func helperSpin() {
+	for {
+	}
+}
+
+func (s *server) start(ctx context.Context) {
+	// Clean: worker's body ranges over s.queue.
+	go s.worker()
+
+	// Clean: evidence one call-graph hop away.
+	go supervise(s)
+
+	// Flagged: no context, channel or WaitGroup in sight.
+	go helperSpin()
+
+	// Flagged: bare spinner literal.
+	go func() {
+		for {
+		}
+	}()
+
+	// Clean: blocks on the captured context.
+	go func() {
+		<-ctx.Done()
+	}()
+
+	// Clean: a channel argument is a cancellation edge.
+	go func(done chan struct{}) {
+		<-done
+	}(make(chan struct{}))
+
+	// Clean: WaitGroup participation makes the goroutine awaitable.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"asiccloud/internal/analysis/atest"
+	"asiccloud/internal/analysis/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	atest.Run(t, lockheld.Analyzer, "lockheld", atest.Config{})
+}

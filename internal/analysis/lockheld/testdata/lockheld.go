@@ -1,0 +1,113 @@
+// Package fixture exercises lockheld: blocking operations between Lock
+// and Unlock, nonblocking select exemptions, and locks copied by value.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	results chan int
+	data    map[string]int
+}
+
+// sleepHeld sleeps with the mutex held: flagged.
+func (s *store) sleepHeld() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}
+
+// sendHeld sends on a channel while the deferred unlock keeps the mutex
+// held to return: flagged.
+func (s *store) sendHeld(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.results <- v
+}
+
+// recvHeld receives under the read lock: flagged.
+func (s *store) recvHeld() int {
+	s.rw.RLock()
+	v := <-s.results
+	s.rw.RUnlock()
+	return v
+}
+
+// nonblockingSend uses select-with-default, which cannot block: clean.
+func (s *store) nonblockingSend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.results <- v:
+	default:
+	}
+}
+
+// releasedFirst unlocks before the send: clean.
+func (s *store) releasedFirst(v int) {
+	s.mu.Lock()
+	s.data["k"] = v
+	s.mu.Unlock()
+	s.results <- v
+}
+
+// relock takes the same mutex twice: flagged as a self-deadlock.
+func (s *store) relock() {
+	s.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// branchHeld blocks on only one path; any path counts: flagged.
+func (s *store) branchHeld(v int, urgent bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if urgent {
+		s.results <- v
+	}
+	s.data["k"] = v
+}
+
+// rangeHeld drains a channel with the mutex held: flagged.
+func (s *store) rangeHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.results {
+		s.data["v"] = v
+	}
+}
+
+// litClean sends from a new goroutine, not under the caller's lock:
+// clean.
+func (s *store) litClean(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { s.results <- v }()
+}
+
+// waitHeld waits on a WaitGroup with the mutex held: flagged.
+func (s *store) waitHeld(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait()
+	s.mu.Unlock()
+}
+
+// lockedConfig carries a mutex by value wherever it is copied.
+type lockedConfig struct {
+	mu sync.Mutex
+	n  int
+}
+
+// byValue copies the mutex through its receiver: flagged.
+func (c lockedConfig) byValue() int { return c.n }
+
+// byPtr shares the mutex: clean.
+func (c *lockedConfig) byPtr() int { return c.n }
+
+// takesByValue copies the mutex through a parameter: flagged.
+func takesByValue(c lockedConfig) int { return c.n }

@@ -23,6 +23,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	}
 	var diags []Diagnostic
 	var dirs []directive
+	facts := newFacts(pkgs)
 	for _, pkg := range pkgs {
 		dirs = append(dirs, parseDirectives(pkg.Fset, pkg.Files)...)
 		for _, a := range analyzers {
@@ -35,6 +36,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Pkg,
 				Info:     pkg.Info,
+				facts:    facts,
 				report:   func(d Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {

@@ -62,7 +62,12 @@ func TestSuiteNamesAreUnique(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if !seen["unitconv"] || !seen["floatcmp"] || !seen["droppederr"] || !seen["unitdoc"] {
-		t.Errorf("suite is missing a core analyzer: %v", seen)
+	for _, name := range []string{
+		"unitconv", "floatcmp", "droppederr", "unitdoc",
+		"ctxflow", "goroleak", "lockheld", "unitflow",
+	} {
+		if !seen[name] {
+			t.Errorf("suite is missing analyzer %s: %v", name, seen)
+		}
 	}
 }

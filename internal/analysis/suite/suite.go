@@ -6,19 +6,27 @@ package suite
 
 import (
 	"asiccloud/internal/analysis"
+	"asiccloud/internal/analysis/ctxflow"
 	"asiccloud/internal/analysis/droppederr"
 	"asiccloud/internal/analysis/floatcmp"
+	"asiccloud/internal/analysis/goroleak"
+	"asiccloud/internal/analysis/lockheld"
 	"asiccloud/internal/analysis/unitconv"
 	"asiccloud/internal/analysis/unitdoc"
+	"asiccloud/internal/analysis/unitflow"
 )
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
 		droppederr.Analyzer,
 		floatcmp.Analyzer,
+		goroleak.Analyzer,
+		lockheld.Analyzer,
 		unitconv.Analyzer,
 		unitdoc.Analyzer,
+		unitflow.Analyzer,
 	}
 }
 

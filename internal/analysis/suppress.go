@@ -13,24 +13,30 @@ import (
 //	//lint:ignore analyzer[,analyzer...] reason
 //
 // The directive suppresses diagnostics from the named analyzers on the
-// same source line (trailing comment) or on the line immediately below
-// (standalone comment line). The reason is mandatory: a suppression
-// without a stated justification is itself reported, as is a directive
-// naming an analyzer that does not exist — both keep the suppression
-// vocabulary honest as the suite grows.
+// same source line (trailing comment) or — for a standalone comment line
+// — on the entire construct that begins on the line immediately below:
+// a statement, a case/select clause, a composite-literal element, a
+// struct field or a const/var spec, however many lines it spans. The
+// reason is mandatory: a suppression without a stated justification is
+// itself reported, as is a directive naming an analyzer that does not
+// exist — both keep the suppression vocabulary honest as the suite
+// grows.
 type directive struct {
 	pos       token.Position
+	endLine   int // last source line the directive covers
 	analyzers []string
 	reason    string
 }
 
 const directivePrefix = "//lint:ignore"
 
-// parseDirectives extracts every //lint:ignore directive from the files of
-// a package, keyed by filename.
+// parseDirectives extracts every //lint:ignore directive from the files
+// of a package and resolves each one's coverage range against the
+// syntax tree (see resolveRanges).
 func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
 	var out []directive
 	for _, f := range files {
+		var dirs []directive
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text, ok := strings.CutPrefix(c.Text, directivePrefix)
@@ -44,17 +50,66 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
 				}
 				fields := strings.Fields(text)
 				d := directive{pos: fset.Position(c.Pos())}
+				d.endLine = d.pos.Line + 1
 				if len(fields) > 0 {
 					d.analyzers = strings.Split(fields[0], ",")
 				}
 				if len(fields) > 1 {
 					d.reason = strings.Join(fields[1:], " ")
 				}
-				out = append(out, d)
+				dirs = append(dirs, d)
 			}
 		}
+		resolveRanges(fset, f, dirs)
+		out = append(out, dirs...)
 	}
 	return out
+}
+
+// resolveRanges extends each directive's coverage to the full extent of
+// the construct starting on the line below it. Before this resolution a
+// directive only covered its own line and the next one, so a directive
+// preceding a multi-line statement, a case clause, or an entry of a
+// composite literal failed to reach diagnostics reported on the
+// construct's later lines. Candidate constructs are statements
+// (including case and select clauses), const/var/type specs, struct
+// fields, and the direct elements of composite literals; when several
+// candidates begin on the target line the outermost one wins, so a
+// directive above `for` covers the whole loop, not just its init
+// statement.
+func resolveRanges(fset *token.FileSet, f *ast.File, dirs []directive) {
+	if len(dirs) == 0 {
+		return
+	}
+	want := make(map[int]int, len(dirs)) // target start line -> dirs index
+	for i := range dirs {
+		want[dirs[i].pos.Line+1] = i
+	}
+	consider := func(n ast.Node) {
+		start := fset.Position(n.Pos()).Line
+		i, ok := want[start]
+		if !ok {
+			return
+		}
+		if end := fset.Position(n.End()).Line; end > dirs[i].endLine {
+			dirs[i].endLine = end
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				consider(elt)
+			}
+		case ast.Stmt:
+			consider(n)
+		case ast.Spec:
+			consider(n)
+		case *ast.Field:
+			consider(n)
+		}
+		return true
+	})
 }
 
 // lintName is the pseudo-analyzer under which the framework reports
@@ -95,11 +150,13 @@ func applySuppression(diags []Diagnostic, dirs []directive, known map[string]boo
 		if !valid {
 			continue
 		}
-		// A directive covers its own line (trailing comment) and the line
-		// immediately below (standalone comment above the statement).
+		// A directive covers its own line (trailing comment) through the
+		// end of the construct beginning on the line below (standalone
+		// comment above a statement, clause, field or literal element).
 		for _, name := range d.analyzers {
-			covered[key{d.pos.Filename, d.pos.Line, name}] = true
-			covered[key{d.pos.Filename, d.pos.Line + 1, name}] = true
+			for line := d.pos.Line; line <= d.endLine; line++ {
+				covered[key{d.pos.Filename, line, name}] = true
+			}
 		}
 	}
 	var out []Diagnostic

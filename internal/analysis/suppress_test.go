@@ -30,6 +30,27 @@ func funcFlagger(name string) *analysis.Analyzer {
 	}
 }
 
+// intFlagger reports every integer literal 42, giving the range-aware
+// suppression resolution diagnostics inside composite literals, case
+// clauses and multi-line statements.
+func intFlagger(name string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: name,
+		Doc:  "test analyzer flagging every 42 literal",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.BasicLit); ok && lit.Value == "42" {
+						pass.Reportf(lit.Pos(), "literal 42")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
 // silent is an analyzer that exists (so directives may name it) but never
 // reports; a valid directive naming it must stay inert, not error.
 func silent(name string) *analysis.Analyzer {
@@ -83,6 +104,43 @@ func TestSuppression(t *testing.T) {
 	for _, name := range []string{"standalone", "trailing", "comma"} {
 		if strings.Contains(buf.String(), name) {
 			t.Errorf("suppressed function %s still reported:\n%s", name, buf.String())
+		}
+	}
+}
+
+// TestSuppressionRanges pins the range-aware semantics: a directive on
+// the line preceding a multi-line composite-literal element, case
+// clause, or statement suppresses diagnostics anywhere inside that
+// construct — and nowhere past it.
+func TestSuppressionRanges(t *testing.T) {
+	pkg, err := analysis.CheckSource("asiccloud/internal/fixture",
+		[]string{filepath.Join("testdata", "suppress_range.go")})
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg},
+		[]*analysis.Analyzer{intFlagger("intflag")})
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := analysis.WriteText(&buf, diags, ""); err != nil {
+		t.Fatalf("formatting diagnostics: %v", err)
+	}
+	got := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	want := []string{
+		// The second table element carries no directive.
+		`testdata/suppress_range.go:18:6: intflag: literal 42`,
+		// case 2 is outside the case-1 clause the directive covers.
+		`testdata/suppress_range.go:29:10: intflag: literal 42`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics mismatch\n--- got ---\n%s\n--- want ---\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d:\n  got  %s\n  want %s", i, got[i], want[i])
 		}
 	}
 }

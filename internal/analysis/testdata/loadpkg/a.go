@@ -1,0 +1,7 @@
+// Package loadpkg is a loader-test fixture: exactly one buildable file
+// (this one) accompanied by a build-tag-gated file, an in-package test
+// file and an external-package test file, none of which may be loaded.
+package loadpkg
+
+// A is the only symbol the loader should see in this package.
+const A = 1

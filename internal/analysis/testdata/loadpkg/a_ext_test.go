@@ -1,0 +1,5 @@
+// Package loadpkg_test would clash with loadpkg if the loader ever
+// parsed external test packages alongside the package under test.
+package loadpkg_test
+
+const ExternalTestSymbol = 4

@@ -1,0 +1,5 @@
+package loadpkg
+
+// InPackageTestSymbol lives in an in-package _test.go file; the loader
+// skips test files, so it must not be loaded.
+const InPackageTestSymbol = 3

@@ -1,0 +1,7 @@
+//go:build devtools
+
+package loadpkg
+
+// Tagged must never be visible: the devtools build tag is not set, so
+// build.Default.MatchFile rejects this file.
+const Tagged = 2

@@ -1,0 +1,113 @@
+// Package fixture exercises unitflow: doc-annotated unit sources,
+// conversion helpers, local propagation, and the flagged mixes.
+package fixture
+
+// The conversion helpers mirror internal/units signatures; unitflow
+// matches them by name so fixtures stay stdlib-only.
+
+// WToMW converts watts to megawatts.
+func WToMW(w float64) float64 { return w * 1e-6 }
+
+// HzToMHz converts a frequency in Hz to MHz.
+func HzToMHz(hz float64) float64 { return hz * 1e-6 }
+
+// UM2ToMM2 converts an area in µm² to mm².
+func UM2ToMM2(um2 float64) float64 { return um2 * 1e-6 }
+
+// CtoK converts Celsius to Kelvin.
+func CtoK(c float64) float64 { return c + 273.15 }
+
+type board struct {
+	// PowerW is the board's power draw, in W.
+	PowerW float64
+	// SensorMW is the power telemetry reading, in mW.
+	SensorMW float64
+	// AreaMM2 is the silicon area, in mm².
+	AreaMM2 float64
+	// CellUM2 is the per-bitcell area, in µm².
+	CellUM2 float64
+	// ClockHz is the core clock, in Hz.
+	ClockHz float64
+	// ClockMHz is the displayed clock, in MHz.
+	ClockMHz float64
+	// TempK is the junction temperature, in K.
+	TempK float64
+	// AmbientC is the inlet temperature, in °C.
+	AmbientC float64
+}
+
+// mixes seeds the classic telemetry bug: the sensor reports mW.
+func mixes(b board) float64 {
+	return b.PowerW + b.SensorMW // flagged: W + mW
+}
+
+// mixesAreas adds bitcell µm² onto a die-level mm² total: flagged.
+func mixesAreas(b board) float64 {
+	return b.AreaMM2 + b.CellUM2
+}
+
+// mixedCompare compares Hz against MHz: flagged.
+func mixedCompare(b board) bool {
+	return b.ClockHz > b.ClockMHz
+}
+
+// mixedTemp subtracts °C from K: flagged.
+func mixedTemp(b board) float64 {
+	return b.TempK - b.AmbientC
+}
+
+// okSum adds same-unit quantities: clean.
+func okSum(b board) float64 {
+	return b.PowerW + b.PowerW
+}
+
+// okLiteral lets a bare literal adapt to its partner: clean.
+func okLiteral(b board) float64 {
+	return b.PowerW + 5
+}
+
+// viaLocal carries units through locals before mixing: flagged.
+func viaLocal(b board) float64 {
+	w := b.PowerW
+	telemetry := b.SensorMW
+	return w + telemetry
+}
+
+// doubleConvert feeds an already-converted MHz value back through the
+// Hz→MHz helper: flagged.
+func doubleConvert(b board) float64 {
+	return HzToMHz(b.ClockMHz)
+}
+
+// okConvert converts before combining: clean.
+func okConvert(b board) float64 {
+	return HzToMHz(b.ClockHz) + b.ClockMHz
+}
+
+// storeMismatch writes an MHz value into the Hz field: flagged; the
+// properly converted Kelvin store is clean.
+func storeMismatch(b *board) {
+	b.ClockHz = b.ClockMHz
+	b.TempK = CtoK(b.AmbientC)
+}
+
+// composite builds a board with an MHz value in the Hz field: flagged.
+func composite() board {
+	return board{
+		ClockHz: HzToMHz(1e9),
+		TempK:   CtoK(25),
+	}
+}
+
+// unstable's local receives conflicting units, so it degrades to
+// unknown and nothing downstream is flagged: clean by conservatism.
+func unstable(b board) float64 {
+	v := b.PowerW
+	v = b.SensorMW
+	return v + b.PowerW
+}
+
+// mulIsFree multiplies across dimensions, which is legitimate: clean.
+func mulIsFree(b board) float64 {
+	return b.PowerW * b.SensorMW
+}

@@ -1,0 +1,12 @@
+package unitflow_test
+
+import (
+	"testing"
+
+	"asiccloud/internal/analysis/atest"
+	"asiccloud/internal/analysis/unitflow"
+)
+
+func TestUnitflow(t *testing.T) {
+	atest.Run(t, unitflow.Analyzer, "unitflow", atest.Config{})
+}

@@ -280,20 +280,32 @@ func (p *Pool) Serve(ctx context.Context, l net.Listener) error {
 			defer wg.Done()
 			//lint:ignore droppederr close error on a finished worker socket is unactionable
 			defer conn.Close()
-			p.serveConn(conn)
+			p.serveConn(ctx, conn)
 		}()
 	}
 }
 
-// serveConn speaks the pull protocol with one worker.
-func (p *Pool) serveConn(conn net.Conn) {
+// serveConn speaks the pull protocol with one worker. Cancellation
+// closes the connection, which unblocks the Decode the loop would
+// otherwise sit in until the worker disconnected on its own — before
+// this, Serve's wg.Wait could hang shutdown behind an idle worker
+// socket.
+func (p *Pool) serveConn(ctx context.Context, conn net.Conn) {
+	stop := context.AfterFunc(ctx, func() {
+		//lint:ignore droppederr best-effort cancellation; the reader sees the closed socket
+		conn.Close()
+	})
+	defer stop()
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	worker := "anonymous"
 	for {
+		if ctx.Err() != nil {
+			return
+		}
 		var m message
 		if err := dec.Decode(&m); err != nil {
-			return // disconnect or garbage: drop the connection
+			return // disconnect, cancellation, or garbage: drop the connection
 		}
 		switch m.Type {
 		case "hello":

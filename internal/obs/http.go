@@ -87,7 +87,7 @@ func Serve(addr string, reg *Registry) (*http.Server, net.Addr, error) {
 		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: Handler(reg)}
-	//lint:ignore droppederr Serve always returns non-nil after Shutdown/Close; nothing to report
+	//lint:ignore droppederr,goroleak lifecycle is owned by the returned *http.Server: the caller stops it via Shutdown/Close, and Serve's error after that is noise
 	go func() { _ = srv.Serve(l) }()
 	return srv, l.Addr(), nil
 }

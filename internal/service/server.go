@@ -75,6 +75,7 @@ type Server struct {
 	engine *core.Engine
 	cache  *resultCache
 
+	//lint:ignore ctxflow server-lifetime root context, the http.Server.BaseContext pattern: Shutdown calls baseCancel, which cancels every job context derived from it
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 

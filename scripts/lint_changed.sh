@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Lint only the .go files changed against a git ref.
+#
+# Usage: scripts/lint_changed.sh [ref]
+#
+# The whole module is still loaded and analyzed (the dataflow analyzers
+# need complete packages), but diagnostics are filtered to files that
+# differ from the ref — committed, staged, unstaged or untracked. The
+# default ref is origin/main when the remote branch exists, HEAD
+# otherwise, so the script works both in CI (against the merge base)
+# and locally (against the last commit).
+set -eu
+cd "$(dirname "$0")/.."
+
+ref="${1:-}"
+if [ -z "$ref" ]; then
+    if git rev-parse --verify --quiet origin/main >/dev/null; then
+        ref=origin/main
+    else
+        ref=HEAD
+    fi
+fi
+
+exec go run ./cmd/asiclint -diff "$ref" ./...

@@ -9,6 +9,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -36,20 +37,30 @@ func run(argv []string) error {
 	defaultTimeout := fs.Duration("default-timeout", 0, "per-job timeout when the request names none (default 2m)")
 	maxTimeout := fs.Duration("max-timeout", 0, "clamp on request-supplied timeouts (default 10m)")
 	grace := fs.Duration("grace", 30*time.Second, "shutdown grace before in-flight sweeps are hard-canceled")
+	logLevel := fs.String("log-level", "info", "structured log threshold: debug, info, warn or error")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	// JSON log lines go to stderr, keeping stdout for the machine-read
+	// "listening on" line below.
+	logger := obs.NewLogger(os.Stderr, level)
 
 	rec := obs.NewRecorder()
+	obs.RegisterRuntimeMetrics(rec.Registry())
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
 		CacheEntries:   *cacheEntries,
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
+		Logger:         logger,
 	}, rec)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -63,6 +74,9 @@ func run(argv []string) error {
 	// The smoke script and quickstart parse this line for the bound port,
 	// so it goes to stdout and stays machine-readable.
 	fmt.Printf("asiccloudd: listening on %s\n", ln.Addr())
+	logger.Info("daemon started",
+		"addr", ln.Addr().String(),
+		"log_level", level.String())
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -71,7 +85,7 @@ func run(argv []string) error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-stop:
-		fmt.Fprintf(os.Stderr, "asiccloudd: %s received, draining (grace %s)\n", sig, *grace)
+		logger.Info("draining on signal", "signal", sig.String(), "grace", grace.String())
 	case err := <-errCh:
 		return fmt.Errorf("serve: %w", err)
 	}
@@ -81,11 +95,11 @@ func run(argv []string) error {
 	// Drain the job pool first so status endpoints stay reachable while
 	// in-flight sweeps finish, then close the listener.
 	if err := svc.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "asiccloudd: grace expired, in-flight sweeps canceled\n")
+		logger.Warn("grace expired, in-flight sweeps canceled")
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && err != context.DeadlineExceeded {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
-	fmt.Fprintln(os.Stderr, "asiccloudd: stopped")
+	logger.Info("daemon stopped")
 	return nil
 }

@@ -13,6 +13,14 @@
 // file, a report that is not a JSON object — aborts with a non-zero
 // exit before the report file is touched, so a broken pipeline can
 // never leave a partial or silently wrong artifact behind.
+//
+// Trajectory mode reads every BENCH_<n>.json accumulated across PRs and
+// renders the perf trajectory as a table — explorer throughput plus the
+// plan-cache and result-cache speedups — exiting non-zero when the
+// newest report regressed explorer throughput by more than 20% against
+// its predecessor, so CI catches perf cliffs mechanically:
+//
+//	benchreport -trajectory [dir]
 package main
 
 import (
@@ -22,7 +30,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 )
 
@@ -41,11 +51,20 @@ func main() {
 func run(argv []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	into := fs.String("into", "", "JSON report file to merge benchmark results into")
+	trajectory := fs.Bool("trajectory", false,
+		"render the BENCH_<n>.json perf trajectory instead of merging; non-zero exit on >20% throughput regression")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
+	if *trajectory {
+		dir := "."
+		if fs.NArg() > 0 {
+			dir = fs.Arg(0)
+		}
+		return runTrajectory(dir, stdout)
+	}
 	if *into == "" {
-		return fmt.Errorf("usage: go test -bench ... | benchreport -into report.json")
+		return fmt.Errorf("usage: go test -bench ... | benchreport -into report.json, or benchreport -trajectory [dir]")
 	}
 
 	results, err := parseBench(stdin, stdout)
@@ -134,4 +153,98 @@ func speedup(results map[string]float64, num, den string) (float64, bool) {
 		return 0, false
 	}
 	return n / d, true
+}
+
+// benchFile matches the repository's per-PR report artifacts.
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// regressionTolerance is the fractional explorer-throughput drop
+// (newest vs its predecessor) trajectory mode tolerates before failing.
+const regressionTolerance = 0.20
+
+// trajectoryRow is one report's headline numbers; NaN-free by
+// construction (absent fields stay 0 and render as "-").
+type trajectoryRow struct {
+	seq                 int
+	command             string
+	configsPerSec       float64
+	planCacheSpeedup    float64
+	serviceCacheSpeedup float64
+}
+
+// runTrajectory loads every BENCH_<n>.json in dir (ascending by n),
+// prints the perf trajectory, and errors when the newest report's
+// explorer throughput fell more than regressionTolerance below the
+// previous report that measured it.
+func runTrajectory(dir string, stdout io.Writer) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("trajectory dir: %v", err)
+	}
+	var rows []trajectoryRow
+	for _, e := range entries {
+		m := benchFile.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		seq, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue // unreachable given the \d+ match; belt and braces
+		}
+		report, err := loadReport(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("%s: %v", e.Name(), err)
+		}
+		row := trajectoryRow{seq: seq}
+		row.command, _ = report["command"].(string)
+		if explore, ok := report["explore"].(map[string]any); ok {
+			row.configsPerSec, _ = explore["configs_per_sec"].(float64)
+		}
+		row.planCacheSpeedup, _ = report["plan_cache_speedup"].(float64)
+		row.serviceCacheSpeedup, _ = report["service_cache_speedup"].(float64)
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("no BENCH_<n>.json files in %s", dir)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].seq < rows[j].seq })
+
+	cell := func(v float64, format string) string {
+		if v <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf(format, v)
+	}
+	fmt.Fprintf(stdout, "%-10s %14s %12s %12s  %s\n",
+		"bench", "configs/sec", "plan-cache", "result-cache", "command")
+	for _, r := range rows {
+		fmt.Fprintf(stdout, "%-10s %14s %12s %12s  %s\n",
+			fmt.Sprintf("BENCH_%d", r.seq),
+			cell(r.configsPerSec, "%.0f"),
+			cell(r.planCacheSpeedup, "%.2fx"),
+			cell(r.serviceCacheSpeedup, "%.2fx"),
+			r.command)
+	}
+
+	// Regression gate: compare the two newest reports that measured
+	// explorer throughput (not every report runs a sweep).
+	var measured []trajectoryRow
+	for _, r := range rows {
+		if r.configsPerSec > 0 {
+			measured = append(measured, r)
+		}
+	}
+	if len(measured) < 2 {
+		return nil
+	}
+	prev, last := measured[len(measured)-2], measured[len(measured)-1]
+	drop := 1 - last.configsPerSec/prev.configsPerSec
+	if drop > regressionTolerance {
+		return fmt.Errorf(
+			"throughput regression: BENCH_%d explores %.0f configs/sec, %.0f%% below BENCH_%d's %.0f (tolerance %.0f%%)",
+			last.seq, last.configsPerSec, drop*100, prev.seq, prev.configsPerSec, regressionTolerance*100)
+	}
+	fmt.Fprintf(stdout, "throughput: BENCH_%d vs BENCH_%d within tolerance (%+.1f%%)\n",
+		last.seq, prev.seq, -drop*100)
+	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -120,5 +121,104 @@ func TestSpeedupAbsentWhenBenchMissing(t *testing.T) {
 	}
 	if _, ok := report["plan_cache_speedup"]; ok {
 		t.Fatal("plan_cache_speedup emitted although the warm benchmark is missing")
+	}
+}
+
+// writeBench drops a BENCH_<n>.json into dir.
+func writeBench(t *testing.T, dir string, seq int, content string) {
+	t.Helper()
+	name := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", seq))
+	if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrajectoryTable(t *testing.T) {
+	dir := t.TempDir()
+	// Written out of numeric order, and with 10 after 2 to prove the
+	// sort is numeric rather than lexicographic.
+	writeBench(t, dir, 10, `{"command":"design","explore":{"configs_per_sec":120000},"service_cache_speedup":80.5}`)
+	writeBench(t, dir, 2, `{"command":"design","explore":{"configs_per_sec":100000},"plan_cache_speedup":2.5}`)
+	writeBench(t, dir, 1, `{"command":"design","explore":{"configs_per_sec":90000}}`)
+	var out strings.Builder
+	if err := run([]string{"-trajectory", dir}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	// Header + three rows + tolerance verdict.
+	if len(lines) != 5 {
+		t.Fatalf("trajectory output = %d lines:\n%s", len(lines), got)
+	}
+	for i, want := range []string{"BENCH_1", "BENCH_2", "BENCH_10"} {
+		if !strings.HasPrefix(lines[i+1], want+" ") {
+			t.Errorf("row %d = %q, want %s first (numeric sort)", i, lines[i+1], want)
+		}
+	}
+	if !strings.Contains(lines[2], "2.50x") {
+		t.Errorf("plan-cache speedup missing from BENCH_2 row: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "80.50x") {
+		t.Errorf("result-cache speedup missing from BENCH_10 row: %q", lines[3])
+	}
+	// Absent measurements render as "-", never 0.
+	if !strings.Contains(lines[1], "-") {
+		t.Errorf("absent speedups should render as -: %q", lines[1])
+	}
+	if !strings.Contains(got, "within tolerance") {
+		t.Errorf("improving trajectory should pass the gate:\n%s", got)
+	}
+}
+
+func TestTrajectoryRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, 1, `{"command":"design","explore":{"configs_per_sec":100000}}`)
+	// 30% drop: over the 20% tolerance.
+	writeBench(t, dir, 2, `{"command":"design","explore":{"configs_per_sec":70000}}`)
+	var out strings.Builder
+	err := run([]string{"-trajectory", dir}, strings.NewReader(""), &out)
+	if err == nil {
+		t.Fatal("30% throughput drop passed the regression gate")
+	}
+	if !strings.Contains(err.Error(), "throughput regression") {
+		t.Fatalf("error %q does not name the regression", err)
+	}
+
+	// Exactly at tolerance passes: the gate is strictly-greater-than.
+	writeBench(t, dir, 2, `{"command":"design","explore":{"configs_per_sec":80000}}`)
+	out.Reset()
+	if err := run([]string{"-trajectory", dir}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("20%% drop should be within tolerance: %v", err)
+	}
+}
+
+func TestTrajectorySkipsUnmeasuredReports(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, 1, `{"command":"design","explore":{"configs_per_sec":100000}}`)
+	// A report with no sweep (e.g. a poolsim run) must not read as a
+	// drop to zero.
+	writeBench(t, dir, 2, `{"command":"poolsim"}`)
+	writeBench(t, dir, 3, `{"command":"design","explore":{"configs_per_sec":95000}}`)
+	var out strings.Builder
+	if err := run([]string{"-trajectory", dir}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("unmeasured report broke the gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "BENCH_3 vs BENCH_1") {
+		t.Errorf("gate should compare the two measured reports:\n%s", out.String())
+	}
+}
+
+func TestTrajectoryErrors(t *testing.T) {
+	empty := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-trajectory", empty}, strings.NewReader(""), &out); err == nil ||
+		!strings.Contains(err.Error(), "no BENCH_") {
+		t.Fatalf("empty dir error = %v", err)
+	}
+	bad := t.TempDir()
+	writeBench(t, bad, 1, `{broken`)
+	if err := run([]string{"-trajectory", bad}, strings.NewReader(""), &out); err == nil ||
+		!strings.Contains(err.Error(), "BENCH_1.json") {
+		t.Fatalf("broken report error = %v", err)
 	}
 }

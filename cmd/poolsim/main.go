@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"os"
 	"runtime/pprof"
@@ -43,7 +44,15 @@ func main() {
 	trace := flag.Bool("trace", false, "print the span trace with the end-of-run report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	reportJSON := flag.String("report-json", "", "write the structured run report as JSON to this file")
+	logLevel := flag.String("log-level", "warn",
+		"pool event log threshold (debug, info, warn, error); JSON lines on stderr")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		log.Fatalf("bad -log-level %q: %v", *logLevel, err)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	var rec *obs.Recorder
 	if *metricsAddr != "" || *trace || *cpuprofile != "" || *reportJSON != "" {
@@ -79,14 +88,23 @@ func main() {
 	fmt.Printf("mining at difficulty %.3g, %d jobs of %d nonces across %d workers\n",
 		diff, *jobs, *rangeSize, *workers)
 
+	// The run's root span doubles as the trace every distributed job is
+	// stamped with, so worker-side tooling can join the coordinator's
+	// trace across the TCP hop.
+	rootSpan := rec.Span("poolsim")
 	jobList := make([]cloud.Job, *jobs)
 	for i := range jobList {
 		payload := make([]byte, 4)
 		binary.LittleEndian.PutUint32(payload, uint32(uint64(i)*(*rangeSize)))
-		jobList[i] = cloud.Job{ID: uint64(i + 1), Payload: payload}
+		jobList[i] = cloud.Job{
+			ID:          uint64(i + 1),
+			Payload:     payload,
+			Traceparent: rootSpan.Traceparent(),
+		}
 	}
 	pool := cloud.NewPool(jobList)
 	pool.Instrument(rec)
+	pool.SetLogger(logger)
 	if *lease > 0 {
 		pool.SetLeaseDuration(*lease)
 	}
@@ -120,7 +138,6 @@ func main() {
 	}
 
 	begin := time.Now()
-	rootSpan := rec.Span("poolsim")
 	fleetSpan := rootSpan.Child("fleet")
 	total, err := cloud.RunFleet(ctx, l.Addr().String(), "miner", *workers, handler)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -18,6 +19,11 @@ import (
 type Job struct {
 	ID      uint64 `json:"id"`
 	Payload []byte `json:"payload"`
+	// Traceparent optionally carries the coordinator's W3C traceparent
+	// header value so worker-side instrumentation can join the
+	// submitting trace across the TCP hop (obs.ParseTraceparent +
+	// obs.WithSpanContext on the worker).
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // Result is a completed (or failed) job.
@@ -83,6 +89,9 @@ type Pool struct {
 	// leaseDuration bounds how long a worker may hold a job before it
 	// is assumed dead and the job is requeued (0 = no leasing).
 	leaseDuration time.Duration
+	// log receives lifecycle events (worker connects, lease expiries,
+	// requeues, failed jobs); never nil (no-op by default).
+	log *slog.Logger
 	// now is injectable for deterministic tests.
 	now func() time.Time
 }
@@ -95,6 +104,7 @@ func NewPool(jobs []Job) *Pool {
 		done:    make(map[uint64]bool),
 		issued:  make(map[uint64]time.Time),
 		results: make(chan Result, len(jobs)+16),
+		log:     obs.NopLogger(),
 		now:     time.Now,
 	}
 	p.stats.JobsQueued = len(jobs)
@@ -121,6 +131,16 @@ func (p *Pool) Instrument(rec *obs.Recorder) {
 	p.met.queued.Set(float64(len(p.pending)))
 }
 
+// SetLogger attaches a structured logger for pool lifecycle events:
+// worker connect/disconnect, lease expiries, requeues, watchdog
+// closes, and failed jobs. Call before Serve; nil restores the no-op
+// logger.
+func (p *Pool) SetLogger(l *slog.Logger) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.log = obs.OrNop(l)
+}
+
 // SetLeaseDuration enables work recovery: a job not answered within d
 // is handed to the next worker that asks. Results arriving after the
 // job was re-answered are ignored (first result wins).
@@ -130,12 +150,14 @@ func (p *Pool) SetLeaseDuration(d time.Duration) {
 	p.leaseDuration = d
 }
 
-// reapExpiredLocked requeues jobs whose lease has lapsed. Callers hold
-// p.mu.
-func (p *Pool) reapExpiredLocked() {
+// reapExpiredLocked requeues jobs whose lease has lapsed and returns
+// their IDs so the caller can log them after releasing p.mu (logging
+// never happens under the pool lock). Callers hold p.mu.
+func (p *Pool) reapExpiredLocked() []uint64 {
 	if p.leaseDuration <= 0 {
-		return
+		return nil
 	}
+	var expired []uint64
 	now := p.now()
 	for id, l := range p.leases {
 		if now.After(l.deadline) {
@@ -148,15 +170,16 @@ func (p *Pool) reapExpiredLocked() {
 			p.met.requeued.Inc()
 			p.met.inflight.Add(-1)
 			p.met.queued.Set(float64(len(p.pending)))
+			expired = append(expired, id)
 		}
 	}
+	return expired
 }
 
 // requeue returns a job whose connection died before it could be
 // answered to the pending queue.
 func (p *Pool) requeue(j Job) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	delete(p.leases, j.ID)
 	delete(p.issued, j.ID)
 	p.pending = append(p.pending, j)
@@ -164,6 +187,10 @@ func (p *Pool) requeue(j Job) {
 	p.met.requeued.Inc()
 	p.met.inflight.Add(-1)
 	p.met.queued.Set(float64(len(p.pending)))
+	log := p.log
+	p.mu.Unlock()
+	log.LogAttrs(context.Background(), slog.LevelWarn, "connection died holding job; requeued",
+		slog.Uint64("job_id", j.ID))
 }
 
 // Add enqueues another job. It fails once the pool has been drained and
@@ -184,8 +211,11 @@ func (p *Pool) Add(j Job) error {
 // recycled first.
 func (p *Pool) next() (Job, bool) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.reapExpiredLocked()
+	expired := p.reapExpiredLocked()
+	var (
+		out Job
+		ok  bool
+	)
 	for len(p.pending) > 0 {
 		j := p.pending[0]
 		p.pending = p.pending[1:]
@@ -200,17 +230,26 @@ func (p *Pool) next() (Job, bool) {
 		}
 		p.issued[j.ID] = p.now()
 		p.met.queued.Set(float64(len(p.pending)))
-		return j, true
+		out, ok = j, true
+		break
 	}
-	p.met.queued.Set(0)
-	return Job{}, false
+	if !ok {
+		p.met.queued.Set(0)
+	}
+	log := p.log
+	p.mu.Unlock()
+	for _, id := range expired {
+		log.LogAttrs(context.Background(), slog.LevelWarn, "lease expired; job requeued",
+			slog.Uint64("job_id", id))
+	}
+	return out, ok
 }
 
 // record stores a result, ignoring duplicates for the same job.
 func (p *Pool) record(r Result) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.done[r.JobID] {
+		p.mu.Unlock()
 		return
 	}
 	p.done[r.JobID] = true
@@ -232,6 +271,18 @@ func (p *Pool) record(r Result) {
 	case p.results <- r:
 	default:
 		// Results channel full: drop for the stream, stats still count.
+	}
+	log := p.log
+	p.mu.Unlock()
+	if r.Err != "" {
+		log.LogAttrs(context.Background(), slog.LevelWarn, "job failed",
+			slog.Uint64("job_id", r.JobID),
+			slog.String("worker", r.Worker),
+			slog.String("error", r.Err))
+	} else {
+		log.LogAttrs(context.Background(), slog.LevelDebug, "job completed",
+			slog.Uint64("job_id", r.JobID),
+			slog.String("worker", r.Worker))
 	}
 }
 
@@ -291,7 +342,13 @@ func (p *Pool) Serve(ctx context.Context, l net.Listener) error {
 // this, Serve's wg.Wait could hang shutdown behind an idle worker
 // socket.
 func (p *Pool) serveConn(ctx context.Context, conn net.Conn) {
+	p.mu.Lock()
+	log := p.log
+	p.mu.Unlock()
+	remote := conn.RemoteAddr().String()
 	stop := context.AfterFunc(ctx, func() {
+		log.LogAttrs(ctx, slog.LevelDebug, "watchdog closing worker connection on cancellation",
+			slog.String("remote", remote))
 		//lint:ignore droppederr best-effort cancellation; the reader sees the closed socket
 		conn.Close()
 	})
@@ -299,6 +356,11 @@ func (p *Pool) serveConn(ctx context.Context, conn net.Conn) {
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	worker := "anonymous"
+	defer func() {
+		log.LogAttrs(ctx, slog.LevelDebug, "worker disconnected",
+			slog.String("worker", worker),
+			slog.String("remote", remote))
+	}()
 	for {
 		if ctx.Err() != nil {
 			return
@@ -312,6 +374,9 @@ func (p *Pool) serveConn(ctx context.Context, conn net.Conn) {
 			if m.Worker != "" {
 				worker = m.Worker
 			}
+			log.LogAttrs(ctx, slog.LevelInfo, "worker connected",
+				slog.String("worker", worker),
+				slog.String("remote", remote))
 			if err := enc.Encode(message{Type: "ack"}); err != nil {
 				return
 			}

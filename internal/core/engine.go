@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"sort"
@@ -55,6 +56,10 @@ type Engine struct {
 	// Workers caps the sweep's parallelism (0 selects GOMAXPROCS).
 	// Results do not depend on the worker count or scheduling order.
 	Workers int
+	// Log receives sweep start/finish/abort lines with plan-cache
+	// hit/miss deltas, correlated to the sweep's trace via the context.
+	// Nil logs nothing.
+	Log *slog.Logger
 
 	rec *obs.Recorder
 
@@ -237,8 +242,14 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 	}
 
 	rec := e.rec
-	root := rec.Span("explore")
+	// Parent under whatever the context carries (the daemon's job span,
+	// a remote traceparent) so one request is one connected trace; with
+	// a bare context this starts a fresh trace, as Explore always did.
+	ctx, root := rec.StartSpan(ctx, "explore")
 	defer root.End()
+	log := obs.OrNop(e.Log)
+	from := time.Now()
+	hits0, misses0 := e.hits.Load(), e.misses.Load()
 	ctr := newExploreCounters(rec)
 
 	gridSpan := root.Child("grid_build")
@@ -322,6 +333,7 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 	}
 
 	sweepSpan := root.Child("sweep")
+	sweepCtx := obs.WithSpan(ctx, sweepSpan)
 	chunk := e.ChunkSize
 	if chunk <= 0 {
 		chunk = DefaultChunkSize
@@ -347,6 +359,11 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 	if workers > numChunks {
 		workers = numChunks
 	}
+	log.LogAttrs(ctx, slog.LevelInfo, "sweep started",
+		slog.Int("geometries", len(work)),
+		slog.Int("workers", workers),
+		slog.Int("chunks", numChunks),
+		slog.Int("voltages", len(voltages)))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
@@ -368,6 +385,7 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 				if c >= numChunks {
 					break
 				}
+				_, chunkSpan := rec.StartSpan(sweepCtx, "chunk")
 				lo := c * chunk
 				hi := lo + chunk
 				if hi > len(work) {
@@ -446,6 +464,7 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 						localT.add(p.TCOPerOp(), p)
 					}
 				}
+				chunkSpan.End()
 			}
 			if total := time.Since(workerFrom); total > 0 {
 				rec.Gauge("asiccloud_explore_worker_utilization",
@@ -466,10 +485,20 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 	sweepSpan.End()
 
 	if err := ctx.Err(); err != nil {
+		log.LogAttrs(ctx, slog.LevelWarn, "sweep aborted",
+			slog.Int64("processed_geometries", processed.Load()),
+			slog.Int("total_geometries", len(work)),
+			slog.String("cause", err.Error()))
 		return Result{Pruned: summary}, fmt.Errorf(
 			"core: exploration aborted after %d of %d geometries (%s): %w",
 			processed.Load(), len(work), summary, err)
 	}
+	log.LogAttrs(ctx, slog.LevelInfo, "sweep finished",
+		slog.Int64("generated", summary.Generated),
+		slog.Int64("feasible", summary.Feasible),
+		slog.Int64("plan_cache_hits", e.hits.Load()-hits0),
+		slog.Int64("plan_cache_misses", e.misses.Load()-misses0),
+		slog.Float64("duration_seconds", time.Since(from).Seconds()))
 	if summary.Feasible == 0 {
 		return Result{Pruned: summary}, fmt.Errorf(
 			"core: no feasible design point in the swept space (%s)", summary)

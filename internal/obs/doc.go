@@ -1,9 +1,11 @@
 // Package obs is the repository's dependency-free observability layer:
 // a metrics registry (counters, gauges, histograms with fixed bucket
-// layouts), lightweight span-based tracing with hierarchical wall-clock
-// timings, a Prometheus-text / expvar / pprof HTTP exposition endpoint,
-// and a structured end-of-run report that serializes to JSON so perf
-// trajectories can be diffed mechanically across PRs.
+// layouts, scrape-time collectors), context-carrying span tracing with
+// W3C trace/span IDs and traceparent propagation, trace-correlated
+// structured logging over log/slog, a Prometheus-text / expvar / pprof
+// HTTP exposition endpoint, and a structured end-of-run report that
+// serializes to JSON so perf trajectories can be diffed mechanically
+// across PRs.
 //
 // Everything is safe for concurrent use and nil-safe: methods on a nil
 // *Registry, *Recorder, *Counter, *Gauge, *Histogram or *Span are
@@ -14,10 +16,31 @@
 //
 // NewRecorder builds the root handle commands thread through the stack;
 // Serve (or Handler) exposes its Registry over HTTP; Instrument wraps
-// HTTP handlers with the standard request counter, latency histogram
-// and in-flight gauge, labeled by route pattern — never by raw path, so
-// label cardinality stays bounded. NewReport renders the end-of-run
-// summary.
+// HTTP handlers with the standard request counter, latency histogram,
+// in-flight gauge, trace extraction/injection and an access-log line,
+// labeled by route pattern — never by raw path, so label cardinality
+// stays bounded. NewReport renders the end-of-run summary.
+// RegisterRuntimeMetrics adds goroutine/heap/GC gauges refreshed at
+// scrape time.
+//
+// # Traces
+//
+// Every span carries a SpanContext (trace ID + span ID) and a parent
+// link. Recorder.StartSpan(ctx, name) parents under whatever ctx holds
+// — a local *Span (WithSpan), a remote identity extracted from a
+// traceparent header (WithSpanContext), or nothing, starting a fresh
+// trace — and returns ctx with the new span installed, so one request
+// threads a single connected trace through HTTP handler → job → engine
+// chunks. Recorder.Trace(id) returns the retained spans of one trace
+// for JSON rendering (BuildSpanTree nests them); retention is bounded
+// per trace and by trace count, with overflow counted in
+// asiccloud_spans_truncated_total.
+//
+// # Logs
+//
+// NewLogger returns a JSON slog logger whose records pick up
+// trace_id/span_id from the context automatically (use the *Context
+// logging methods). NopLogger/OrNop keep call sites guard-free.
 //
 // # Units
 //

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// traceHandler decorates a slog.Handler with trace correlation: every
+// record logged through a context carrying a span (WithSpan /
+// Instrument / StartSpan) gains trace_id and span_id attrs, so one
+// `grep <trace_id>` pulls a request's full story out of the log stream.
+type traceHandler struct {
+	slog.Handler
+}
+
+func (h traceHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sc, ok := SpanContextFromContext(ctx); ok {
+		r.AddAttrs(
+			slog.String("trace_id", sc.TraceID.String()),
+			slog.String("span_id", sc.SpanID.String()),
+		)
+	}
+	return h.Handler.Handle(ctx, r)
+}
+
+func (h traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{Handler: h.Handler.WithAttrs(attrs)}
+}
+
+func (h traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{Handler: h.Handler.WithGroup(name)}
+}
+
+// NewLogger returns a JSON slog logger writing to w at the given
+// level, whose records automatically carry trace_id/span_id attrs from
+// the context (use the *Context logging methods). This is the logging
+// schema every daemon in the repo emits: one JSON object per line with
+// time, level, msg, the trace correlation attrs, and call-site attrs
+// in snake_case (job_id, request_hash, route, code, duration_seconds,
+// ...).
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(traceHandler{
+		Handler: slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}),
+	})
+}
+
+// nopLogger is shared by every NopLogger call; DiscardHandler is
+// stateless.
+var nopLogger = slog.New(slog.DiscardHandler)
+
+// NopLogger returns a logger that discards everything — the default
+// for instrumented components whose caller wired no logger, so call
+// sites never guard against nil.
+func NopLogger() *slog.Logger { return nopLogger }
+
+// OrNop returns l, or the discard logger when l is nil.
+func OrNop(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return nopLogger
+	}
+	return l
+}

@@ -206,10 +206,11 @@ func (m *metric) key() string { return m.name + m.labels }
 // Registry holds named metrics and renders them in Prometheus text
 // exposition format. The zero value is not usable; call NewRegistry.
 type Registry struct {
-	mu      sync.Mutex
-	metrics map[string]*metric
-	order   []string // registration order of keys, for stable output
-	help    map[string]string
+	mu         sync.Mutex
+	metrics    map[string]*metric
+	order      []string // registration order of keys, for stable output
+	help       map[string]string
+	collectors []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -302,12 +303,34 @@ func (r *Registry) SetHelp(name, help string) {
 	r.help[name] = help
 }
 
+// OnCollect registers a collector invoked (without the registry lock)
+// at the start of every WritePrometheus call, so sampled values —
+// runtime memory stats, queue depths read from elsewhere — are fresh
+// at scrape time. Collectors typically Set gauges on the same
+// registry. Nil-safe; a nil f is ignored.
+func (r *Registry) OnCollect(f func()) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, f)
+}
+
 // WritePrometheus renders every registered metric in Prometheus text
 // exposition format (version 0.0.4), grouping series of the same base
-// name under one TYPE header.
+// name under one TYPE header. Registered collectors run first, so
+// sampled gauges are fresh.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	if r == nil {
 		return
+	}
+	r.mu.Lock()
+	collectors := make([]func(), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+	for _, f := range collectors {
+		f()
 	}
 	r.mu.Lock()
 	keys := append([]string(nil), r.order...)

@@ -1,10 +1,15 @@
 package obs
 
 import (
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
 )
+
+// TraceparentHeader is the W3C Trace Context header Instrument
+// extracts from requests and injects into responses.
+const TraceparentHeader = "traceparent"
 
 // statusWriter captures the response code an inner handler writes so the
 // middleware can label its metrics with it. The zero status means the
@@ -28,17 +33,37 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach Flusher (SSE streaming) through the wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // Instrument wraps an HTTP handler with the registry's standard request
-// metrics:
+// metrics, trace propagation, and an access log line:
 //
 //	asiccloud_http_requests_total{route,method,code}  counter
 //	asiccloud_http_request_seconds{route}             latency histogram (s)
 //	asiccloud_http_in_flight                          gauge
 //
+// Trace propagation: an incoming traceparent header is extracted and
+// the request span created under it (joining the caller's trace);
+// otherwise a fresh trace begins. The span rides the request context —
+// handlers reach it via FromContext and child work via
+// rec.StartSpan(r.Context(), ...) — and its traceparent is injected
+// into the response header so clients learn their trace ID.
+//
+// The access log line (method, route, status, duration) carries the
+// trace correlation attrs automatically; a nil logger logs nothing.
+//
 // route must be a bounded label — the mux pattern ("/v1/sweeps/{id}"),
 // never the raw request path, or a scanner walking random URLs mints
-// unbounded metric series. A nil registry yields a pass-through wrapper.
-func Instrument(reg *Registry, route string, next http.Handler) http.Handler {
+// unbounded metric series. A nil recorder still propagates traces as a
+// pass-through (with no span recording).
+//
+// Metrics and the log line are emitted even when the handler panics
+// (the in-flight gauge is decremented and the request counted as 500);
+// the panic is then re-raised for net/http's handler to report.
+func Instrument(rec *Recorder, logger *slog.Logger, route string, next http.Handler) http.Handler {
+	reg := rec.Registry()
 	reg.SetHelp("asiccloud_http_requests_total",
 		"HTTP requests served, by route pattern, method and status code")
 	reg.SetHelp("asiccloud_http_request_seconds",
@@ -47,18 +72,49 @@ func Instrument(reg *Registry, route string, next http.Handler) http.Handler {
 		"HTTP requests currently being served")
 	inFlight := reg.Gauge("asiccloud_http_in_flight")
 	hist := reg.Histogram("asiccloud_http_request_seconds", nil, "route", route)
+	logger = OrNop(logger)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		inFlight.Add(1)
-		defer inFlight.Add(-1)
+		ctx := r.Context()
+		if sc, ok := ParseTraceparent(r.Header.Get(TraceparentHeader)); ok {
+			ctx = WithSpanContext(ctx, sc)
+		}
+		ctx, span := rec.StartSpan(ctx, r.Method+" "+route)
+		if tp := span.Traceparent(); tp != "" {
+			w.Header().Set(TraceparentHeader, tp)
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		from := time.Now()
-		next.ServeHTTP(sw, r)
-		hist.Observe(time.Since(from).Seconds())
-		code := sw.status
-		if code == 0 {
-			code = http.StatusOK
-		}
-		reg.Counter("asiccloud_http_requests_total",
-			"route", route, "method", r.Method, "code", strconv.Itoa(code)).Inc()
+		defer func() {
+			panicked := recover()
+			code := sw.status
+			if panicked != nil {
+				code = http.StatusInternalServerError
+			} else if code == 0 {
+				code = http.StatusOK
+			}
+			span.End()
+			inFlight.Add(-1)
+			d := time.Since(from)
+			hist.Observe(d.Seconds())
+			reg.Counter("asiccloud_http_requests_total",
+				"route", route, "method", r.Method, "code", strconv.Itoa(code)).Inc()
+			level := slog.LevelInfo
+			msg := "http request"
+			if panicked != nil {
+				level = slog.LevelError
+				msg = "http handler panicked"
+			}
+			logger.LogAttrs(ctx, level, msg,
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.Int("code", code),
+				slog.Float64("duration_seconds", d.Seconds()),
+			)
+			if panicked != nil {
+				panic(panicked)
+			}
+		}()
+		next.ServeHTTP(sw, r.WithContext(ctx))
 	})
 }

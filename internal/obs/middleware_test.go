@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"log/slog"
+)
+
+func TestInstrumentStatusCapture(t *testing.T) {
+	rec := NewRecorder()
+	h := Instrument(rec, nil, "/teapot", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusTeapot)
+		}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/teapot", nil))
+	if rr.Code != http.StatusTeapot {
+		t.Fatalf("code = %d, want 418", rr.Code)
+	}
+	reg := rec.Registry()
+	if got := reg.Counter("asiccloud_http_requests_total",
+		"route", "/teapot", "method", "GET", "code", "418").Value(); got != 1 {
+		t.Errorf("418 counter = %d, want 1", got)
+	}
+
+	// A handler that only writes a body counts as 200.
+	h200 := Instrument(rec, nil, "/ok", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			if _, err := w.Write([]byte("ok")); err != nil {
+				t.Errorf("write: %v", err)
+			}
+		}))
+	h200.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/ok", nil))
+	if got := reg.Counter("asiccloud_http_requests_total",
+		"route", "/ok", "method", "GET", "code", "200").Value(); got != 1 {
+		t.Errorf("implicit-200 counter = %d, want 1", got)
+	}
+	if got := reg.Histogram("asiccloud_http_request_seconds", nil, "route", "/ok").Count(); got != 1 {
+		t.Errorf("latency histogram count = %d, want 1", got)
+	}
+}
+
+func TestInstrumentPanicDecrementsInFlight(t *testing.T) {
+	rec := NewRecorder()
+	var buf bytes.Buffer
+	logger := NewLogger(&buf, slog.LevelInfo)
+	h := Instrument(rec, logger, "/boom", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			panic("kaboom")
+		}))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("middleware swallowed the panic")
+			}
+		}()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/boom", nil))
+	}()
+	reg := rec.Registry()
+	if got := reg.Gauge("asiccloud_http_in_flight").Value(); got != 0 {
+		t.Errorf("in-flight gauge = %v after panic, want 0", got)
+	}
+	if got := reg.Counter("asiccloud_http_requests_total",
+		"route", "/boom", "method", "GET", "code", "500").Value(); got != 1 {
+		t.Errorf("panic request not counted as 500: %d", got)
+	}
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("panic log line not JSON: %v (%q)", err, buf.String())
+	}
+	if line["level"] != "ERROR" || line["msg"] != "http handler panicked" {
+		t.Errorf("panic log line = %v", line)
+	}
+}
+
+func TestInstrumentTraceparentRoundTrip(t *testing.T) {
+	rec := NewRecorder()
+	upstream := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	var seen *Span
+	h := Instrument(rec, nil, "/traced", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			seen = FromContext(r.Context())
+		}))
+	req := httptest.NewRequest("GET", "/traced", nil)
+	req.Header.Set(TraceparentHeader, upstream.Traceparent())
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+
+	if seen == nil {
+		t.Fatal("handler saw no span in its context")
+	}
+	if seen.TraceID() != upstream.TraceID {
+		t.Errorf("server span trace = %s, want caller's %s", seen.TraceID(), upstream.TraceID)
+	}
+	echoed, ok := ParseTraceparent(rr.Header().Get(TraceparentHeader))
+	if !ok {
+		t.Fatalf("response traceparent invalid: %q", rr.Header().Get(TraceparentHeader))
+	}
+	if echoed.TraceID != upstream.TraceID {
+		t.Errorf("response trace = %s, want %s (inject → extract must agree)",
+			echoed.TraceID, upstream.TraceID)
+	}
+	if echoed.SpanID == upstream.SpanID {
+		t.Error("server must mint its own span ID, not echo the caller's")
+	}
+
+	// Without the header, a fresh valid trace is minted and injected.
+	rr2 := httptest.NewRecorder()
+	h.ServeHTTP(rr2, httptest.NewRequest("GET", "/traced", nil))
+	fresh, ok := ParseTraceparent(rr2.Header().Get(TraceparentHeader))
+	if !ok || fresh.TraceID == upstream.TraceID {
+		t.Errorf("fresh request traceparent = %q", rr2.Header().Get(TraceparentHeader))
+	}
+}
+
+func TestInstrumentNilRecorderPassThrough(t *testing.T) {
+	var rec *Recorder
+	h := Instrument(rec, nil, "/nil", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusNoContent)
+		}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/nil", nil))
+	if rr.Code != http.StatusNoContent {
+		t.Errorf("nil recorder broke the handler: %d", rr.Code)
+	}
+}
+
+func TestStatusWriterUnwrapReachesFlusher(t *testing.T) {
+	rec := NewRecorder()
+	flushed := false
+	h := Instrument(rec, nil, "/stream", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			rc := http.NewResponseController(w)
+			if err := rc.Flush(); err != nil {
+				t.Errorf("Flush through statusWriter failed: %v", err)
+				return
+			}
+			flushed = true
+		}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/stream", nil))
+	if !flushed {
+		t.Error("SSE-style flush did not reach the underlying writer")
+	}
+}

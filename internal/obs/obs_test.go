@@ -138,8 +138,15 @@ func TestSpansAndSlowest(t *testing.T) {
 	if slow[0].Span != "explore" || slow[1].Span != "explore/sweep" {
 		t.Errorf("order = %v, want explore then explore/sweep", slow)
 	}
-	if g := rec.Gauge("asiccloud_span_seconds", "span", "explore/sweep").Value(); g <= 0 {
-		t.Error("span gauge not recorded")
+	// Span durations land in a histogram, so repeated spans on one path
+	// accumulate sum+count instead of last-write-wins.
+	h := rec.Histogram("asiccloud_span_seconds", nil, "span", "explore/sweep")
+	if h.Count() != 1 || h.Sum() <= 0 {
+		t.Errorf("span histogram count=%d sum=%v, want 1 observation > 0", h.Count(), h.Sum())
+	}
+	rec.Span("explore").Child("sweep").End() // same path again
+	if h.Count() != 2 {
+		t.Errorf("repeated span path count = %d, want 2 (aggregates must survive)", h.Count())
 	}
 	tree := rec.TraceTree()
 	if !strings.Contains(tree, "grid_build") || !strings.Contains(tree, "sweep") {

@@ -2,19 +2,26 @@ package obs
 
 import "time"
 
-// Recorder bundles a metrics registry with a span trace for one run of
-// an instrumented subsystem. A nil *Recorder is a valid no-op: every
-// method (and every metric or span it returns) is nil-safe, so
-// functions take an optional recorder without guarding call sites.
+// Recorder bundles a metrics registry with span tracing for one run of
+// an instrumented subsystem: a flat start-order span set backing the
+// CLI-oriented Slowest/TraceTree views, and a per-trace store backing
+// the Trace(id) lookup the daemon's trace endpoint serves. A nil
+// *Recorder is a valid no-op: every method (and every metric or span
+// it returns) is nil-safe, so functions take an optional recorder
+// without guarding call sites.
 type Recorder struct {
-	reg   *Registry
-	spans spanSet
-	start time.Time
+	reg    *Registry
+	spans  spanSet
+	traces traceStore
+	start  time.Time
 }
 
 // NewRecorder returns a recorder with a fresh registry.
 func NewRecorder() *Recorder {
-	return &Recorder{reg: NewRegistry(), start: time.Now()}
+	rec := &Recorder{reg: NewRegistry(), start: time.Now()}
+	rec.reg.SetHelp("asiccloud_spans_truncated_total",
+		"spans dropped from trace retention by the flat-set or per-trace bounds")
+	return rec
 }
 
 // Registry exposes the underlying registry (nil for a nil recorder),
@@ -58,19 +65,25 @@ func (r *Recorder) Histogram(name string, bounds []float64, labels ...string) *H
 	return r.reg.Histogram(name, bounds, labels...)
 }
 
-// Span starts a root span.
+// Span starts a root span on a fresh trace.
 func (r *Recorder) Span(name string) *Span {
 	if r == nil {
 		return nil
 	}
-	return r.startSpan(name, 0)
+	return r.startSpan(name, name, 0, SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}, SpanID{})
 }
 
-func (r *Recorder) startSpan(path string, depth int) *Span {
+func (r *Recorder) startSpan(path, name string, depth int, sc SpanContext, parent SpanID) *Span {
 	if r == nil {
 		return nil
 	}
-	s := &Span{rec: r, path: path, depth: depth, start: time.Now()}
-	r.spans.add(s)
+	s := &Span{rec: r, path: path, name: name, depth: depth, sc: sc, parent: parent, start: time.Now()}
+	dropped := r.traces.add(s)
+	if !r.spans.add(s) {
+		dropped++
+	}
+	if dropped > 0 {
+		r.Counter("asiccloud_spans_truncated_total").Add(int64(dropped))
+	}
 	return s
 }

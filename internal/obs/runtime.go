@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterRuntimeMetrics attaches a Go-runtime collector to the
+// registry: goroutine count, heap residency and GC totals, refreshed
+// on every Prometheus scrape (see Registry.OnCollect). Safe to call on
+// a nil registry; calling it twice registers two collectors that write
+// the same gauges, which is harmless.
+//
+//	asiccloud_go_goroutines             gauge    runtime.NumGoroutine
+//	asiccloud_go_heap_alloc_bytes       gauge    bytes of live heap objects
+//	asiccloud_go_heap_sys_bytes         gauge    heap memory obtained from the OS
+//	asiccloud_go_gc_runs_total          gauge    completed GC cycles
+//	asiccloud_go_gc_pause_seconds_total gauge    cumulative stop-the-world pause
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.SetHelp("asiccloud_go_goroutines", "goroutines currently live in the process")
+	reg.SetHelp("asiccloud_go_heap_alloc_bytes", "bytes of allocated heap objects")
+	reg.SetHelp("asiccloud_go_heap_sys_bytes", "heap bytes obtained from the OS")
+	reg.SetHelp("asiccloud_go_gc_runs_total", "completed garbage-collection cycles")
+	reg.SetHelp("asiccloud_go_gc_pause_seconds_total", "cumulative GC stop-the-world pause time")
+	goroutines := reg.Gauge("asiccloud_go_goroutines")
+	heapAlloc := reg.Gauge("asiccloud_go_heap_alloc_bytes")
+	heapSys := reg.Gauge("asiccloud_go_heap_sys_bytes")
+	gcRuns := reg.Gauge("asiccloud_go_gc_runs_total")
+	gcPause := reg.Gauge("asiccloud_go_gc_pause_seconds_total")
+	collect := func() {
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapSys.Set(float64(ms.HeapSys))
+		gcRuns.Set(float64(ms.NumGC))
+		gcPause.Set(time.Duration(ms.PauseTotalNs).Seconds())
+	}
+	collect() // expose sane values even before the first scrape
+	reg.OnCollect(collect)
+}

@@ -8,37 +8,47 @@ import (
 	"time"
 )
 
-// maxSpans bounds how many finished spans a recorder retains; beyond it
-// spans still update metrics but are dropped from the trace (counted in
-// SpanTruncated).
+// maxSpans bounds how many finished spans a recorder retains in the
+// flat start-order set backing Slowest and TraceTree; beyond it spans
+// still update metrics and the per-trace store but are dropped from the
+// flat set, counted in the asiccloud_spans_truncated_total metric.
 const maxSpans = 4096
 
 // Span is one timed region of work. Spans nest: children created with
-// Child carry a slash-separated path ("explore/sweep"). A Span is
-// created by Recorder.Span or Span.Child and finished with End; all
-// methods are nil-safe so instrumentation works with a nil Recorder.
+// Child carry a slash-separated path ("explore/sweep") and inherit the
+// parent's trace ID, forming a tree addressable by SpanContext. A Span
+// is created by Recorder.Span, Recorder.StartSpan or Span.Child and
+// finished with End; all methods are nil-safe so instrumentation works
+// with a nil Recorder.
 type Span struct {
-	rec   *Recorder
-	path  string
-	depth int
-	start time.Time
+	rec    *Recorder
+	name   string // last path segment
+	path   string
+	depth  int
+	sc     SpanContext
+	parent SpanID // zero for roots
+	start  time.Time
 
 	mu    sync.Mutex
 	ended bool
 	dur   time.Duration
 }
 
-// Child starts a nested span.
+// Child starts a nested span sharing the parent's trace ID.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.rec.startSpan(s.path+"/"+name, s.depth+1)
+	return s.rec.startSpan(s.path+"/"+name, name, s.depth+1,
+		SpanContext{TraceID: s.sc.TraceID, SpanID: NewSpanID()}, s.sc.SpanID)
 }
 
-// End finishes the span, records its wall-clock duration as the gauge
-// asiccloud_span_seconds{span=path}, and returns the duration. Repeated
-// End calls keep the first duration.
+// End finishes the span, recording its wall-clock duration into the
+// asiccloud_span_seconds{span=path} histogram (sum and count survive
+// repeated spans on the same path — per-chunk spans, warm re-sweeps —
+// where the old gauge form silently kept only the last write) and
+// incrementing asiccloud_spans_total{span=path}. It returns the
+// duration; repeated End calls keep the first.
 func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
@@ -54,7 +64,7 @@ func (s *Span) End() time.Duration {
 	d := s.dur
 	s.mu.Unlock()
 	if s.rec != nil {
-		s.rec.Gauge("asiccloud_span_seconds", "span", s.path).Set(d.Seconds())
+		s.rec.Histogram("asiccloud_span_seconds", nil, "span", s.path).Observe(d.Seconds())
 		s.rec.Counter("asiccloud_spans_total", "span", s.path).Inc()
 	}
 	return d
@@ -78,6 +88,39 @@ func (s *Span) Path() string {
 	return s.path
 }
 
+// Name returns the span's own name (the last path segment).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Context returns the span's propagatable identity (zero for nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// TraceID returns the span's trace ID (zero for nil).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.sc.TraceID
+}
+
+// Traceparent renders the span's W3C traceparent header value, for
+// injection into outbound requests ("" for nil).
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return s.sc.Traceparent()
+}
+
 // SpanTiming is the report form of one finished span.
 type SpanTiming struct {
 	Span    string  `json:"span"`
@@ -86,19 +129,20 @@ type SpanTiming struct {
 
 // spanSet holds the spans a recorder has handed out, in start order.
 type spanSet struct {
-	mu        sync.Mutex
-	spans     []*Span
-	truncated int
+	mu    sync.Mutex
+	spans []*Span
 }
 
-func (ss *spanSet) add(s *Span) {
+// add files the span; it reports false when the set is full and the
+// span was dropped (the caller counts the truncation).
+func (ss *spanSet) add(s *Span) bool {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if len(ss.spans) >= maxSpans {
-		ss.truncated++
-		return
+		return false
 	}
 	ss.spans = append(ss.spans, s)
+	return true
 }
 
 // finished returns all ended spans.

@@ -1,0 +1,75 @@
+package service
+
+import "sync"
+
+// eventBuffer is each SSE subscriber's channel capacity. Progress
+// publishes are throttled, so the buffer only needs to ride out a
+// slow client between flushes; the drop-oldest send below guarantees
+// the terminal event always lands regardless.
+const eventBuffer = 16
+
+// eventHub fans job status snapshots out to SSE subscribers. It is a
+// plain pub/sub keyed by job ID: the server publishes a snapshot on
+// every lifecycle transition (and throttled progress ticks), each
+// /events stream subscribes for its job. Publishing never blocks —
+// when a subscriber's buffer is full the oldest snapshot is dropped in
+// favor of the newest, so a stalled client sees a coarser history but
+// never a stale terminal state.
+type eventHub struct {
+	mu   sync.Mutex
+	subs map[string]map[chan StatusJSON]struct{}
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{subs: make(map[string]map[chan StatusJSON]struct{})}
+}
+
+// subscribe registers a new stream for a job and returns its channel
+// plus the unsubscribe func (idempotent, safe after publishes).
+func (h *eventHub) subscribe(jobID string) (<-chan StatusJSON, func()) {
+	ch := make(chan StatusJSON, eventBuffer)
+	h.mu.Lock()
+	set, ok := h.subs[jobID]
+	if !ok {
+		set = make(map[chan StatusJSON]struct{})
+		h.subs[jobID] = set
+	}
+	set[ch] = struct{}{}
+	h.mu.Unlock()
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			h.mu.Lock()
+			delete(h.subs[jobID], ch)
+			if len(h.subs[jobID]) == 0 {
+				delete(h.subs, jobID)
+			}
+			h.mu.Unlock()
+		})
+	}
+}
+
+// publish delivers a snapshot to every subscriber of its job without
+// blocking: a full buffer sheds its oldest entry so the newest state
+// (in particular the terminal one) is always enqueued.
+func (h *eventHub) publish(st StatusJSON) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs[st.ID] {
+		select {
+		case ch <- st:
+			continue
+		default:
+		}
+		// Buffer full: drop the oldest snapshot, then retry once. Both
+		// selects are non-blocking, so holding h.mu here cannot stall.
+		select {
+		case <-ch:
+		default:
+		}
+		select {
+		case ch <- st:
+		default:
+		}
+	}
+}

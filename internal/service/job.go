@@ -5,6 +5,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"asiccloud/internal/core"
+	"asiccloud/internal/obs"
 )
 
 // State is a job's lifecycle phase. Transitions only move rightward:
@@ -23,6 +26,12 @@ const (
 	StateCanceled State = "canceled"
 )
 
+// Terminal reports whether the state is final (done, failed or
+// canceled), which is when SSE event streams close.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
 // Job is one asynchronous sweep. All exported access goes through
 // methods; the engine's progress callback writes the atomic counters
 // without taking the mutex, so polling status never contends with the
@@ -34,6 +43,13 @@ type Job struct {
 
 	timeout time.Duration
 
+	// span is the job's trace span, created at submission as a child of
+	// the submitting request's span (so the whole request is one
+	// connected trace) and ended on the terminal transition. It is an
+	// identity + timer, not a context; the run context is rebuilt per
+	// worker from the server's base context.
+	span *obs.Span
+
 	mu       sync.Mutex
 	state    State
 	cached   bool
@@ -44,6 +60,12 @@ type Job struct {
 	finished time.Time
 	cancel   context.CancelFunc
 	userStop bool
+
+	// Sweep telemetry stored at completion for the trace endpoint:
+	// the engine's prune accounting and the shared plan cache's
+	// hit/miss delta observed across this job's run.
+	pruned               *core.PruneSummary
+	planHits, planMisses int64
 
 	geomsDone  atomic.Int64
 	geomsTotal atomic.Int64
@@ -57,6 +79,9 @@ type StatusJSON struct {
 	State State `json:"state"`
 	// RequestHash is the canonical hash of the submitted sweep.
 	RequestHash string `json:"request_hash"`
+	// TraceID addresses the job's end-to-end trace
+	// (GET /v1/sweeps/{id}/trace); log lines carry the same value.
+	TraceID string `json:"trace_id,omitempty"`
 	// Cached is true when the result was served from the result cache
 	// without running the engine.
 	Cached bool `json:"cached"`
@@ -88,6 +113,9 @@ func (j *Job) Status() StatusJSON {
 		GeometriesTotal: j.geomsTotal.Load(),
 		CreatedAt:       j.created.UTC().Format(time.RFC3339Nano),
 		Error:           j.errMsg,
+	}
+	if tid := j.span.TraceID(); !tid.IsZero() {
+		s.TraceID = tid.String()
 	}
 	if !j.started.IsZero() {
 		s.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
@@ -121,6 +149,7 @@ func (j *Job) requestCancel() {
 		j.errMsg = "canceled before start"
 		j.finished = time.Now()
 		j.mu.Unlock()
+		j.span.End()
 		return
 	}
 	j.userStop = true
@@ -151,7 +180,6 @@ func (j *Job) claim(cancel context.CancelFunc) bool {
 // failed.
 func (j *Job) finish(result []byte, err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finished = time.Now()
 	switch {
 	case err == nil:
@@ -164,14 +192,35 @@ func (j *Job) finish(result []byte, err error) {
 		j.state = StateFailed
 		j.errMsg = err.Error()
 	}
+	j.mu.Unlock()
+	j.span.End()
 }
 
 // completeFromCache marks a freshly created job done with cached bytes.
 func (j *Job) completeFromCache(result []byte) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.state = StateDone
 	j.cached = true
 	j.result = result
 	j.finished = time.Now()
+	j.mu.Unlock()
+	j.span.End()
+}
+
+// setSweepStats stores the engine's prune accounting and the plan
+// cache's hit/miss delta for the trace endpoint. Called by the worker
+// before the terminal transition.
+func (j *Job) setSweepStats(pruned core.PruneSummary, planHits, planMisses int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.pruned = &pruned
+	j.planHits, j.planMisses = planHits, planMisses
+}
+
+// sweepStats returns the stored telemetry (pruned is nil until the
+// sweep has run).
+func (j *Job) sweepStats() (pruned *core.PruneSummary, planHits, planMisses int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.pruned, j.planHits, j.planMisses
 }

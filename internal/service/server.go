@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -38,6 +39,10 @@ type Config struct {
 	// GOMAXPROCS / Workers, at least 1), so a saturated pool does not
 	// oversubscribe the machine.
 	EngineWorkers int
+	// Logger receives the daemon's structured log lines (request access
+	// lines, job lifecycle transitions, engine sweep telemetry), each
+	// correlated with trace/span/job IDs. Nil logs nothing.
+	Logger *slog.Logger
 }
 
 // withDefaults resolves zero fields.
@@ -72,8 +77,10 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg    Config
 	rec    *obs.Recorder
+	log    *slog.Logger
 	engine *core.Engine
 	cache  *resultCache
+	events *eventHub
 
 	//lint:ignore ctxflow server-lifetime root context, the http.Server.BaseContext pattern: Shutdown calls baseCancel, which cancels every job context derived from it
 	baseCtx    context.Context
@@ -111,12 +118,15 @@ func New(cfg Config, rec *obs.Recorder) *Server {
 	eng := core.NewEngine(rec)
 	eng.DiscardPoints = true // the API returns frontier + optima, never the full point set
 	eng.Workers = cfg.EngineWorkers
+	eng.Log = cfg.Logger
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:         cfg,
 		rec:         rec,
+		log:         obs.OrNop(cfg.Logger),
 		engine:      eng,
 		cache:       newResultCache(cfg.CacheEntries, rec),
+		events:      newEventHub(),
 		baseCtx:     ctx,
 		baseCancel:  cancel,
 		jobs:        make(map[string]*Job),
@@ -146,10 +156,17 @@ func (s *Server) worker() {
 	}
 }
 
+// progressPublishInterval throttles SSE progress snapshots, so a fast
+// sweep does not flood every subscriber with per-geometry events.
+const progressPublishInterval = 100 * time.Millisecond
+
 // runJob executes one queued job end to end.
 func (s *Server) runJob(job *Job) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, job.timeout)
 	defer cancel()
+	// Rejoin the trace begun at submission: the engine's spans and log
+	// lines below parent under (and correlate to) the job's span.
+	ctx = obs.WithSpan(ctx, job.span)
 	if !job.claim(cancel) {
 		// Canceled while queued; requestCancel already finalized it.
 		s.rec.Counter("asiccloudd_jobs_total", "state", string(StateCanceled)).Inc()
@@ -157,11 +174,28 @@ func (s *Server) runJob(job *Job) {
 	}
 	s.busyWorkers.Add(1)
 	defer s.busyWorkers.Add(-1)
+	s.log.LogAttrs(ctx, slog.LevelInfo, "job started",
+		slog.String("job_id", job.id),
+		slog.String("request_hash", job.hash))
+	s.events.publish(job.Status())
+	from := time.Now()
 
 	finish := func(result []byte, err error) {
 		job.finish(result, err)
-		state, _, _ := job.snapshot()
+		state, _, errMsg := job.snapshot()
 		s.rec.Counter("asiccloudd_jobs_total", "state", string(state)).Inc()
+		attrs := []slog.Attr{
+			slog.String("job_id", job.id),
+			slog.String("state", string(state)),
+			slog.Float64("duration_seconds", time.Since(from).Seconds()),
+		}
+		level := slog.LevelInfo
+		if errMsg != "" {
+			attrs = append(attrs, slog.String("error", errMsg))
+			level = slog.LevelWarn
+		}
+		s.log.LogAttrs(ctx, level, "job finished", attrs...)
+		s.events.publish(job.Status())
 	}
 
 	sweep, model, err := job.can.Plan()
@@ -169,13 +203,25 @@ func (s *Server) runJob(job *Job) {
 		finish(nil, err)
 		return
 	}
+	var lastPublish atomic.Int64
 	sweep.Progress = func(done, total int) {
 		job.geomsDone.Store(int64(done))
 		job.geomsTotal.Store(int64(total))
+		now := time.Now().UnixNano()
+		last := lastPublish.Load()
+		if now-last >= int64(progressPublishInterval) && lastPublish.CompareAndSwap(last, now) {
+			s.events.publish(job.Status())
+		}
 	}
-	from := time.Now()
+	planBefore := s.engine.CacheStats()
 	res, err := s.explore(ctx, sweep, model)
 	s.sweepSecs.Observe(time.Since(from).Seconds())
+	planAfter := s.engine.CacheStats()
+	// The engine is shared, so under concurrent jobs this delta is the
+	// engine-wide activity during this job's run — exact when one job
+	// runs at a time, an upper bound otherwise.
+	job.setSweepStats(res.Pruned,
+		planAfter.Hits-planBefore.Hits, planAfter.Misses-planBefore.Misses)
 	if err != nil {
 		finish(nil, err)
 		return
@@ -192,8 +238,11 @@ func (s *Server) runJob(job *Job) {
 // submit canonicalizes, consults the cache, and either completes the
 // job instantly (hit) or enqueues it (miss). The returned status is the
 // HTTP code the handler writes: 200 for a cache hit, 202 for an
-// accepted job, 400/503 with err for rejections.
-func (s *Server) submit(req *Request) (*Job, int, error) {
+// accepted job, 400/503 with err for rejections. The job's trace span
+// is created here as a child of whatever ctx carries (the HTTP request
+// span), so the submission, the queued wait and the sweep are one
+// connected trace.
+func (s *Server) submit(ctx context.Context, req *Request) (*Job, int, error) {
 	can, err := Canonicalize(req)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
@@ -212,6 +261,7 @@ func (s *Server) submit(req *Request) (*Job, int, error) {
 		return nil, http.StatusServiceUnavailable, fmt.Errorf("server is draining; not accepting new sweeps")
 	}
 	hash := can.Hash()
+	ctx, span := s.rec.StartSpan(ctx, "job")
 	job := &Job{
 		id:      fmt.Sprintf("s%06d-%s", s.seq.Add(1), hash[:12]),
 		hash:    hash,
@@ -219,6 +269,7 @@ func (s *Server) submit(req *Request) (*Job, int, error) {
 		timeout: timeout,
 		created: time.Now(),
 		state:   StateQueued,
+		span:    span,
 	}
 
 	if data, ok := s.cache.Get(hash); ok {
@@ -226,22 +277,38 @@ func (s *Server) submit(req *Request) (*Job, int, error) {
 		s.mu.Lock()
 		s.register(job)
 		s.mu.Unlock()
+		s.log.LogAttrs(ctx, slog.LevelInfo, "sweep served from cache",
+			slog.String("job_id", job.id),
+			slog.String("request_hash", hash))
+		s.events.publish(job.Status())
 		return job, http.StatusOK, nil
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining.Load() {
+		s.mu.Unlock()
+		span.End()
 		return nil, http.StatusServiceUnavailable, fmt.Errorf("server is draining; not accepting new sweeps")
 	}
 	select {
 	case s.queue <- job:
 		s.queueDepth.Add(1)
 	default:
+		depth := s.cfg.QueueDepth
+		s.mu.Unlock()
+		span.End()
+		s.log.LogAttrs(ctx, slog.LevelWarn, "sweep rejected: queue full",
+			slog.String("request_hash", hash),
+			slog.Int("queue_depth", depth))
 		return nil, http.StatusServiceUnavailable,
-			fmt.Errorf("job queue full (%d queued); retry later", s.cfg.QueueDepth)
+			fmt.Errorf("job queue full (%d queued); retry later", depth)
 	}
 	s.register(job)
+	s.mu.Unlock()
+	s.log.LogAttrs(ctx, slog.LevelInfo, "sweep queued",
+		slog.String("job_id", job.id),
+		slog.String("request_hash", hash))
+	s.events.publish(job.Status())
 	return job, http.StatusAccepted, nil
 }
 
@@ -323,7 +390,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	job, code, err := s.submit(&req)
+	job, code, err := s.submit(r.Context(), &req)
 	if err != nil {
 		writeError(w, code, err)
 		return
@@ -389,7 +456,108 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job.requestCancel()
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "job cancel requested",
+		slog.String("job_id", job.id))
+	s.events.publish(job.Status())
 	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// TraceJSON is the body of GET /v1/sweeps/{id}/trace: the job's
+// connected span set (flat and as a tree) plus the sweep accounting
+// that explains where the time went.
+type TraceJSON struct {
+	// JobID, State, TraceID and RequestHash identify the job; Cached
+	// marks results served without running the engine.
+	JobID       string `json:"job_id"`
+	State       State  `json:"state"`
+	TraceID     string `json:"trace_id"`
+	RequestHash string `json:"request_hash"`
+	Cached      bool   `json:"cached"`
+	// PlanCacheHits/Misses are the thermal-plan cache's delta across
+	// this job's run (engine-wide when jobs overlap).
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
+	// Pruned is the engine's exact candidate accounting (null until the
+	// sweep has run).
+	Pruned *core.PruneSummary `json:"pruned,omitempty"`
+	// SpansTruncated counts spans dropped to the per-trace retention
+	// bound; nonzero means the tree below is incomplete.
+	SpansTruncated int `json:"spans_truncated,omitempty"`
+	// Spans is every retained span of the trace in start order; Tree is
+	// the same set nested by parent link.
+	Spans []obs.SpanInfo  `json:"spans"`
+	Tree  []*obs.SpanNode `json:"tree"`
+}
+
+// handleTrace is GET /v1/sweeps/{id}/trace.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	st := job.Status()
+	pruned, planHits, planMisses := job.sweepStats()
+	spans, truncated := s.rec.Trace(job.span.TraceID())
+	writeJSON(w, http.StatusOK, TraceJSON{
+		JobID:           st.ID,
+		State:           st.State,
+		TraceID:         st.TraceID,
+		RequestHash:     st.RequestHash,
+		Cached:          st.Cached,
+		PlanCacheHits:   planHits,
+		PlanCacheMisses: planMisses,
+		Pruned:          pruned,
+		SpansTruncated:  truncated,
+		Spans:           spans,
+		Tree:            obs.BuildSpanTree(spans),
+	})
+}
+
+// handleEvents is GET /v1/sweeps/{id}/events: a Server-Sent Events
+// stream of StatusJSON snapshots — one on connect, one per lifecycle
+// transition, throttled progress ticks while running — that closes
+// itself after the terminal snapshot, so `curl -N` ends when the job
+// does.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	// Subscribe before the initial snapshot so a transition between the
+	// two is seen on the channel rather than lost.
+	ch, unsubscribe := s.events.subscribe(job.id)
+	defer unsubscribe()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	send := func(st StatusJSON) bool {
+		data, err := json.Marshal(st)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: status\ndata: %s\n\n", data); err != nil {
+			// The client went away; the stream just ends.
+			return false
+		}
+		return rc.Flush() == nil
+	}
+	st := job.Status()
+	if !send(st) || st.State.Terminal() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case st := <-ch:
+			if !send(st) || st.State.Terminal() {
+				return
+			}
+		}
+	}
 }
 
 // handleHealthz is GET /v1/healthz.
@@ -419,12 +587,14 @@ func (s *Server) Handler() http.Handler {
 	reg := s.rec.Registry()
 	mux := http.NewServeMux()
 	route := func(pattern, label string, h http.HandlerFunc) {
-		mux.Handle(pattern, obs.Instrument(reg, label, h))
+		mux.Handle(pattern, obs.Instrument(s.rec, s.log, label, h))
 	}
 	route("POST /v1/sweeps", "/v1/sweeps", s.handleSubmit)
 	route("GET /v1/sweeps", "/v1/sweeps", s.handleList)
 	route("GET /v1/sweeps/{id}", "/v1/sweeps/{id}", s.handleStatus)
 	route("GET /v1/sweeps/{id}/result", "/v1/sweeps/{id}/result", s.handleResult)
+	route("GET /v1/sweeps/{id}/trace", "/v1/sweeps/{id}/trace", s.handleTrace)
+	route("GET /v1/sweeps/{id}/events", "/v1/sweeps/{id}/events", s.handleEvents)
 	route("DELETE /v1/sweeps/{id}", "/v1/sweeps/{id}", s.handleCancel)
 	route("GET /v1/healthz", "/v1/healthz", s.handleHealthz)
 	oh := obs.Handler(reg)
@@ -435,7 +605,7 @@ func (s *Server) Handler() http.Handler {
 			writeError(w, http.StatusNotFound, fmt.Errorf("no such endpoint %s", r.URL.Path))
 			return
 		}
-		fmt.Fprintln(w, "asiccloudd: POST /v1/sweeps, GET /v1/sweeps/{id}[/result], DELETE /v1/sweeps/{id}, /v1/healthz, /metrics, /debug/pprof/")
+		fmt.Fprintln(w, "asiccloudd: POST /v1/sweeps, GET /v1/sweeps/{id}[/result|/trace|/events], DELETE /v1/sweeps/{id}, /v1/healthz, /metrics, /debug/pprof/")
 	})
 	return mux
 }

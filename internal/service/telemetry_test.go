@@ -1,0 +1,259 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"log/slog"
+
+	"asiccloud/internal/core"
+	"asiccloud/internal/obs"
+	"asiccloud/internal/tco"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer so the test can read log
+// output while worker goroutines are still writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestTraceEndpointConnectedTrace(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 1}, nil)
+	st, code := postSweep(t, ts, tinySweep)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	if st.TraceID == "" {
+		t.Fatal("submission status has no trace_id")
+	}
+	await(t, ts, st.ID)
+
+	code, body := get(t, ts, "/v1/sweeps/"+st.ID+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace = %d %s", code, body)
+	}
+	var tr TraceJSON
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if tr.TraceID != st.TraceID || tr.JobID != st.ID {
+		t.Fatalf("trace identity = %s/%s, want %s/%s", tr.JobID, tr.TraceID, st.ID, st.TraceID)
+	}
+	// One POST must yield one connected trace: the HTTP request span,
+	// the job span, and the engine's explore/sweep/chunk spans all
+	// sharing the submission's trace ID.
+	if len(tr.Spans) < 3 {
+		t.Fatalf("trace has %d spans, want at least request+job+engine", len(tr.Spans))
+	}
+	paths := make(map[string]bool)
+	for _, sp := range tr.Spans {
+		if sp.TraceID != st.TraceID {
+			t.Fatalf("span %q carries trace %s, want %s (trace not connected)",
+				sp.Path, sp.TraceID, st.TraceID)
+		}
+		paths[sp.Path] = true
+	}
+	for _, want := range []string{
+		"POST /v1/sweeps",
+		"POST /v1/sweeps/job",
+		"POST /v1/sweeps/job/explore",
+		"POST /v1/sweeps/job/explore/sweep/chunk",
+	} {
+		if !paths[want] {
+			t.Errorf("trace missing span path %q (have %v)", want, paths)
+		}
+	}
+	if len(tr.Tree) == 0 || tr.Tree[0].Name != "POST /v1/sweeps" {
+		t.Fatalf("tree root = %+v, want the HTTP request span", tr.Tree)
+	}
+	if tr.Pruned == nil || tr.Pruned.Generated == 0 {
+		t.Errorf("trace missing prune accounting: %+v", tr.Pruned)
+	}
+	if tr.PlanCacheMisses == 0 {
+		t.Error("first sweep should report plan-cache misses")
+	}
+
+	// A cache hit's trace is its own (new request, new trace), flagged
+	// cached, with no engine spans.
+	st2, code := postSweep(t, ts, tinySweep)
+	if code != http.StatusOK {
+		t.Fatalf("second POST = %d", code)
+	}
+	if st2.TraceID == st.TraceID {
+		t.Fatal("distinct submissions must not share a trace")
+	}
+	_, body = get(t, ts, "/v1/sweeps/"+st2.ID+"/trace")
+	var tr2 TraceJSON
+	if err := json.Unmarshal(body, &tr2); err != nil {
+		t.Fatal(err)
+	}
+	if !tr2.Cached {
+		t.Error("cache-hit trace not flagged cached")
+	}
+	for _, sp := range tr2.Spans {
+		if strings.Contains(sp.Path, "explore") {
+			t.Errorf("cache hit ran engine spans: %q", sp.Path)
+		}
+	}
+
+	if code, _ := get(t, ts, "/v1/sweeps/nope/trace"); code != http.StatusNotFound {
+		t.Errorf("unknown job trace = %d", code)
+	}
+}
+
+// readSSE consumes one SSE stream to EOF and returns the decoded
+// status events in order.
+func readSSE(t *testing.T, ts *httptest.Server, path string) []StatusJSON {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var events []StatusJSON
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var st StatusJSON
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); err != nil {
+			t.Fatalf("bad SSE data line %q: %v", line, err)
+		}
+		events = append(events, st)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	return events
+}
+
+func TestEventsStreamFollowsJobToCompletion(t *testing.T) {
+	release := make(chan struct{})
+	_, ts := newTestService(t, Config{Workers: 1},
+		func(ctx context.Context, _ core.Sweep, _ tco.Model) (core.Result, error) {
+			select {
+			case <-release:
+				return core.Result{Pruned: core.PruneSummary{Generated: 1, Feasible: 1}}, nil
+			case <-ctx.Done():
+				return core.Result{}, ctx.Err()
+			}
+		})
+	st, code := postSweep(t, ts, `{"app":"bitcoin"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+
+	done := make(chan []StatusJSON, 1)
+	go func() { done <- readSSE(t, ts, "/v1/sweeps/"+st.ID+"/events") }()
+	// Give the stream a moment to attach, then let the job finish.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	select {
+	case events := <-done:
+		if len(events) == 0 {
+			t.Fatal("stream closed without events")
+		}
+		last := events[len(events)-1]
+		if !last.State.Terminal() {
+			t.Fatalf("stream ended on non-terminal state %s", last.State)
+		}
+		for _, ev := range events {
+			if ev.ID != st.ID {
+				t.Fatalf("event for wrong job: %s", ev.ID)
+			}
+			if ev.TraceID != st.TraceID {
+				t.Fatalf("event trace %s != job trace %s", ev.TraceID, st.TraceID)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE stream never closed after the job finished")
+	}
+
+	// A terminal job's stream replays the final snapshot and closes.
+	events := readSSE(t, ts, "/v1/sweeps/"+st.ID+"/events")
+	if len(events) != 1 || !events[0].State.Terminal() {
+		t.Fatalf("terminal-job stream = %+v, want one terminal snapshot", events)
+	}
+
+	if code, _ := get(t, ts, "/v1/sweeps/nope/events"); code != http.StatusNotFound {
+		t.Errorf("unknown job events = %d", code)
+	}
+}
+
+func TestLogLinesCarryTraceAndJobIDs(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newTestService(t, Config{Workers: 1, Logger: obs.NewLogger(&buf, slog.LevelInfo)}, nil)
+	st, _ := postSweep(t, ts, tinySweep)
+	await(t, ts, st.ID)
+
+	// The terminal log line lands just after the state flip await sees;
+	// poll briefly instead of racing it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s := buf.String(); strings.Contains(s, "job finished") || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var sawSubmit, sawFinish, sawSweep bool
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		switch rec["msg"] {
+		case "sweep queued":
+			sawSubmit = true
+			if rec["job_id"] != st.ID || rec["trace_id"] != st.TraceID {
+				t.Errorf("sweep queued line not correlated: %v", rec)
+			}
+		case "job finished":
+			sawFinish = true
+			if rec["job_id"] != st.ID || rec["trace_id"] != st.TraceID {
+				t.Errorf("job finished line not correlated: %v", rec)
+			}
+			if rec["state"] != string(StateDone) {
+				t.Errorf("job finished state = %v", rec["state"])
+			}
+		case "sweep finished":
+			sawSweep = true
+			if rec["trace_id"] != st.TraceID {
+				t.Errorf("engine line not correlated to the job trace: %v", rec)
+			}
+		}
+	}
+	if !sawSubmit || !sawFinish || !sawSweep {
+		t.Errorf("missing lifecycle log lines: submit=%v finish=%v sweep=%v in\n%s",
+			sawSubmit, sawFinish, sawSweep, buf.String())
+	}
+}

@@ -84,6 +84,48 @@ grep -q '^asiccloudd_cache_hits_total 1$' "$workdir/metrics.txt" \
     || fail "/metrics does not show asiccloudd_cache_hits_total 1"
 echo "smoke_service: cache-hit counter accounted on /metrics"
 
+# Property 4: one submission is one connected trace. POST a distinct
+# sweep (a fresh cache key, so the engine actually runs), follow its
+# SSE stream to the terminal event, then fetch the span tree.
+curl -sf -X POST "$base/v1/sweeps" -d '{"app":"litecoin"}' >"$workdir/post3.json" \
+    || fail "third POST"
+job3=$(jq -er .id "$workdir/post3.json")
+trace3=$(jq -er .trace_id "$workdir/post3.json") || fail "submission status has no trace_id"
+
+# The SSE stream ends when the job reaches a terminal state; --max-time
+# bounds the wait if it never does.
+curl -sN --max-time 30 "$base/v1/sweeps/$job3/events" >"$workdir/events.txt" \
+    || fail "SSE stream did not complete"
+grep '^data: ' "$workdir/events.txt" | sed 's/^data: //' >"$workdir/events.json"
+[[ -s "$workdir/events.json" ]] || fail "SSE stream carried no events"
+last_state=$(tail -n 1 "$workdir/events.json" | jq -er .state)
+[[ "$last_state" == "done" ]] || fail "SSE stream ended in state $last_state"
+jq -es --arg id "$job3" --arg tid "$trace3" \
+    'all(.id == $id and .trace_id == $tid)' "$workdir/events.json" | grep -q true \
+    || fail "SSE events not correlated to the job and its trace"
+echo "smoke_service: SSE stream followed job $job3 to completion"
+
+curl -sf "$base/v1/sweeps/$job3/trace" >"$workdir/trace.json" || fail "GET trace"
+jq -e --arg tid "$trace3" '.trace_id == $tid' "$workdir/trace.json" >/dev/null \
+    || fail "trace endpoint reports a different trace_id"
+jq -e '.spans | length >= 3' "$workdir/trace.json" >/dev/null \
+    || fail "trace has fewer than 3 spans (request, job, engine)"
+jq -e '[.spans[].trace_id] | unique == [.[0]]' "$workdir/trace.json" >/dev/null \
+    || fail "spans do not all share one trace ID"
+jq -e '.tree[0].name == "POST /v1/sweeps"' "$workdir/trace.json" >/dev/null \
+    || fail "span tree is not rooted at the HTTP request span"
+jq -e '.pruned.generated > 0' "$workdir/trace.json" >/dev/null \
+    || fail "trace is missing prune accounting"
+echo "smoke_service: trace endpoint shows one connected span tree"
+
+# Property 5: the daemon's JSON log lines carry the same correlation
+# IDs, so a trace ID found in a log line leads straight to its spans.
+jq -es --arg id "$job3" --arg tid "$trace3" \
+    'map(select(.job_id == $id)) | length > 0 and all(.[]; .trace_id == $tid)' \
+    "$workdir/daemon.err" | grep -q true \
+    || fail "daemon log lines for job $job3 are not trace-correlated"
+echo "smoke_service: log lines correlated by job_id and trace_id"
+
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$daemon_pid"
 if ! wait "$daemon_pid"; then

@@ -11,6 +11,7 @@ check: build
 	$(MAKE) lint-json
 	go test ./...
 	go test -race ./internal/core ./internal/cloud ./internal/service
+	go run ./cmd/benchreport -trajectory
 	./scripts/smoke_service.sh
 
 # Domain-aware static analysis (unit discipline, float hygiene, error
@@ -33,10 +34,24 @@ lint-json:
 lint-changed:
 	./scripts/lint_changed.sh
 
+# Worklist generator: full-suite findings land in results/lint.json
+# bucketed by analyzer, so a cleanup can be tackled one analyzer at a
+# time. Unlike `lint` it exits zero even with findings — it produces
+# the fix list; `lint` is the gate. Exit 2 (load/usage error) still
+# fails the target.
+.PHONY: lint-fix-list
+lint-fix-list:
+	mkdir -p results
+	go run ./cmd/asiclint -json -group ./... > results/lint.json || [ $$? -eq 1 ]
+
 # Paper-table benchmarks plus a measured bitcoin sweep; the structured
 # run report (configs/sec, prune breakdown, frontier size, span timings,
 # plan-cache hit/miss counters) lands in BENCH_3.json, and the
 # repeated-sweep cache benchmark is merged into the same file.
+# BENCH_5.json adds -benchmem so the hot-path allocation budget
+# (allocs/op and B/op of the warm repeated sweep) is tracked per PR
+# alongside throughput; `benchreport -trajectory` (run by `check`)
+# gates on the configs/sec column.
 .PHONY: bench
 bench:
 	go test -run '^$$' -bench . -benchtime 1x .
@@ -46,6 +61,9 @@ bench:
 	go run ./cmd/asiccloud design -app bitcoin -report-json BENCH_4.json
 	go test -run '^$$' -bench BenchmarkServiceSweep -benchtime 20x . \
 		| go run ./cmd/benchreport -into BENCH_4.json
+	go run ./cmd/asiccloud design -app bitcoin -report-json BENCH_5.json
+	go test -run '^$$' -bench BenchmarkRepeatedSweep -benchmem -benchtime 20x . \
+		| go run ./cmd/benchreport -into BENCH_5.json
 
 .PHONY: test
 test:

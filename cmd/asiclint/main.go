@@ -2,26 +2,34 @@
 // suite: unit-conversion discipline (unitconv), float-comparison hygiene
 // (floatcmp), error propagation (droppederr), unit documentation
 // (unitdoc), context discipline (ctxflow), goroutine cancellation
-// (goroleak), locks held across blocking operations (lockheld) and
-// unit-mixing arithmetic (unitflow). The last four are dataflow-aware,
+// (goroleak), locks held across blocking operations (lockheld),
+// unit-mixing arithmetic (unitflow), hot-path allocation budgets
+// (hotalloc), span lifecycle on all CFG paths (spanend) and
+// observability naming conventions (obskeys). Most are dataflow-aware,
 // built on the control-flow graphs and call graph of
-// internal/analysis/cfg. It is stdlib-only and offline — packages are
-// parsed and type-checked by internal/analysis without external tooling.
+// internal/analysis/cfg; hotalloc is interprocedural, propagating
+// per-function allocation summaries from //asic:hotpath roots. It is
+// stdlib-only and offline — packages are parsed and type-checked by
+// internal/analysis without external tooling.
 //
 // Usage:
 //
-//	asiclint [-json] [-analyzers a,b] [-diff ref] [-list] [patterns ...]
+//	asiclint [-json [-group]] [-analyzers a,b] [-diff ref] [-list] [patterns ...]
 //
 // Patterns are directories, optionally ending in /... (default ./...).
 // With -diff, whole packages are still loaded and analyzed (dataflow
 // facts need complete packages) but only diagnostics in .go files that
 // changed versus the given git ref — committed, staged, unstaged or
-// untracked — are reported. Exit status: 0 clean, 1 diagnostics
-// reported, 2 usage or load error. Suppress a finding with a trailing
-// or immediately preceding "//lint:ignore analyzer reason" comment.
+// untracked — are reported. When git is missing or the lint root is not
+// a git work tree, -diff degrades to whole-module reporting with a
+// warning on stderr rather than failing. Exit status: 0 clean, 1
+// diagnostics reported, 2 usage or load error. Suppress a finding with
+// a trailing or immediately preceding "//lint:ignore analyzer reason"
+// comment.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,8 +48,9 @@ func run() int {
 	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
 	diffRef := flag.String("diff", "", "only report diagnostics in files changed since this git ref")
+	group := flag.Bool("group", false, "with -json, bucket diagnostics by analyzer (fix-list form)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: asiclint [-json] [-analyzers a,b] [-diff ref] [-list] [patterns ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: asiclint [-json [-group]] [-analyzers a,b] [-diff ref] [-list] [patterns ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -88,14 +97,26 @@ func run() int {
 	}
 	if *diffRef != "" {
 		changed, err := analysis.ChangedFiles(cwd, *diffRef)
-		if err != nil {
+		switch {
+		case errors.Is(err, analysis.ErrGitUnavailable):
+			// No git, or not a work tree (tarball checkouts, hermetic CI
+			// sandboxes). Reporting everything is the safe direction:
+			// strictly more findings than the filtered run, same exit
+			// semantics.
+			fmt.Fprintf(os.Stderr, "asiclint: -diff %s: %v; reporting the whole module\n", *diffRef, err)
+		case err != nil:
 			fmt.Fprintln(os.Stderr, "asiclint:", err)
 			return 2
+		default:
+			diags = analysis.FilterFiles(diags, changed)
 		}
-		diags = analysis.FilterFiles(diags, changed)
 	}
 	if *jsonOut {
-		if err := analysis.WriteJSON(os.Stdout, diags, cwd); err != nil {
+		write := analysis.WriteJSON
+		if *group {
+			write = analysis.WriteGroupedJSON
+		}
+		if err := write(os.Stdout, diags, cwd); err != nil {
 			fmt.Fprintln(os.Stderr, "asiclint:", err)
 			return 2
 		}

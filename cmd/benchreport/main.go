@@ -1,7 +1,10 @@
 // Command benchreport merges `go test -bench` output into a JSON run
 // report produced by `asiccloud ... -report-json`, so benchmark numbers
 // (e.g. the repeated-sweep cache comparison) land in the same artifact
-// as the explorer's counters and span timings.
+// as the explorer's counters and span timings. Runs made with -benchmem
+// additionally land their B/op and allocs/op columns in the report
+// (benchmarks_bytes_per_op, benchmarks_allocs_per_op), so allocation
+// regressions on the sweep's hot path are tracked alongside latency.
 //
 // Usage:
 //
@@ -36,10 +39,21 @@ import (
 	"strconv"
 )
 
-// resultLine matches e.g. "BenchmarkRepeatedSweep/warm-8   30   37843554 ns/op".
+// resultLine matches e.g. "BenchmarkRepeatedSweep/warm-8   30   37843554 ns/op"
+// with optional -benchmem columns "14571114 B/op   146 allocs/op".
 // The optional -\d+ strips the GOMAXPROCS suffix so names are stable
 // across machines.
-var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\S+) ns/op`)
+var resultLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\S+) ns/op(?:\s+(\S+) B/op\s+(\S+) allocs/op)?`)
+
+// benchResult is one parsed result line; the memory columns are present
+// only when the run used -benchmem.
+type benchResult struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasMem      bool
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -79,15 +93,31 @@ func run(argv []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	report["benchmarks_ns_per_op"] = results
+	ns := make(map[string]float64, len(results))
+	bytesPer := make(map[string]float64)
+	allocsPer := make(map[string]float64)
+	for name, r := range results {
+		ns[name] = r.nsPerOp
+		if r.hasMem {
+			bytesPer[name] = r.bytesPerOp
+			allocsPer[name] = r.allocsPerOp
+		}
+	}
+	report["benchmarks_ns_per_op"] = ns
+	// Memory columns appear only for -benchmem runs, so their absence
+	// in a report means "not measured", never "zero allocations".
+	if len(bytesPer) > 0 {
+		report["benchmarks_bytes_per_op"] = bytesPer
+		report["benchmarks_allocs_per_op"] = allocsPer
+	}
 
 	// The headlines: how much faster a warm plan cache makes an
 	// identical engine sweep, and how much faster the daemon's result
 	// cache answers an identical HTTP submission.
-	if s, ok := speedup(results, "BenchmarkRepeatedSweep/cold", "BenchmarkRepeatedSweep/warm"); ok {
+	if s, ok := speedup(ns, "BenchmarkRepeatedSweep/cold", "BenchmarkRepeatedSweep/warm"); ok {
 		report["plan_cache_speedup"] = s
 	}
-	if s, ok := speedup(results, "BenchmarkServiceSweep/cold", "BenchmarkServiceSweep/cached"); ok {
+	if s, ok := speedup(ns, "BenchmarkServiceSweep/cold", "BenchmarkServiceSweep/cached"); ok {
 		report["service_cache_speedup"] = s
 	}
 
@@ -106,8 +136,8 @@ func run(argv []string, stdin io.Reader, stdout io.Writer) error {
 // and collecting result lines. A line that looks like a result but does
 // not parse is an error, not a skip: silently dropping it would produce
 // a report that claims the benchmark never ran.
-func parseBench(in io.Reader, out io.Writer) (map[string]float64, error) {
-	results := make(map[string]float64)
+func parseBench(in io.Reader, out io.Writer) (map[string]benchResult, error) {
+	results := make(map[string]benchResult)
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
 		line := sc.Text()
@@ -120,7 +150,17 @@ func parseBench(in io.Reader, out io.Writer) (map[string]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("malformed benchmark line %q: ns/op field %q: %v", line, m[2], err)
 		}
-		results[m[1]] = ns
+		r := benchResult{nsPerOp: ns}
+		if m[3] != "" {
+			if r.bytesPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+				return nil, fmt.Errorf("malformed benchmark line %q: B/op field %q: %v", line, m[3], err)
+			}
+			if r.allocsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return nil, fmt.Errorf("malformed benchmark line %q: allocs/op field %q: %v", line, m[4], err)
+			}
+			r.hasMem = true
+		}
+		results[m[1]] = r
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("read stdin: %v", err)

@@ -107,6 +107,61 @@ func TestErrorPaths(t *testing.T) {
 	}
 }
 
+func TestBenchmemColumns(t *testing.T) {
+	path := writeReport(t, `{"command":"design"}`)
+	in := `BenchmarkRepeatedSweep/cold-8   20   64589258 ns/op   15957676 B/op   13980 allocs/op
+BenchmarkRepeatedSweep/warm-8   20   20938381 ns/op   14571114 B/op   146 allocs/op
+BenchmarkFig1NetworkRamp-8      50    1000000 ns/op
+`
+	var out strings.Builder
+	if err := run([]string{"-into", path}, strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	var report map[string]any
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	allocs, ok := report["benchmarks_allocs_per_op"].(map[string]any)
+	if !ok {
+		t.Fatalf("benchmarks_allocs_per_op = %v", report["benchmarks_allocs_per_op"])
+	}
+	if got := allocs["BenchmarkRepeatedSweep/warm"].(float64); got != 146 {
+		t.Fatalf("warm allocs/op = %v, want 146", got)
+	}
+	// A result without -benchmem columns contributes ns/op only.
+	if _, ok := allocs["BenchmarkFig1NetworkRamp"]; ok {
+		t.Fatal("allocs/op reported for a benchmark that never measured memory")
+	}
+	bytesPer, ok := report["benchmarks_bytes_per_op"].(map[string]any)
+	if !ok || bytesPer["BenchmarkRepeatedSweep/cold"].(float64) != 15957676 {
+		t.Fatalf("benchmarks_bytes_per_op = %v", report["benchmarks_bytes_per_op"])
+	}
+	ns, _ := report["benchmarks_ns_per_op"].(map[string]any)
+	if len(ns) != 3 {
+		t.Fatalf("benchmarks_ns_per_op should keep all 3 results, got %v", ns)
+	}
+}
+
+func TestMemColumnsAbsentWithoutBenchmem(t *testing.T) {
+	path := writeReport(t, `{}`)
+	var out strings.Builder
+	if err := run([]string{"-into", path}, strings.NewReader(benchOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	var report map[string]any
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := report["benchmarks_bytes_per_op"]; ok {
+		t.Fatal("bytes/op emitted for a run without -benchmem")
+	}
+	if _, ok := report["benchmarks_allocs_per_op"]; ok {
+		t.Fatal("allocs/op emitted for a run without -benchmem")
+	}
+}
+
 func TestSpeedupAbsentWhenBenchMissing(t *testing.T) {
 	path := writeReport(t, `{}`)
 	in := "BenchmarkRepeatedSweep/cold-8 10 40000000 ns/op\n"

@@ -15,15 +15,18 @@
 //     post-filters the diagnostics through //lint:ignore suppression
 //     directives (run.go, suppress.go);
 //   - run-wide dataflow facts shared by all analyzers: lazily built
-//     per-function control-flow graphs, a module-local call graph, and a
-//     doc-comment index, exposed as Pass.CFG, Pass.CallGraph and
-//     Pass.DocOf (facts.go, backed by internal/analysis/cfg);
-//   - text and JSON diagnostic formatting shared by cmd/asiclint and the
-//     self-test (run.go).
+//     per-function control-flow graphs, a module-local call graph, a
+//     doc-comment index, and memoized per-function allocation summaries
+//     for interprocedural propagation, exposed as Pass.CFG,
+//     Pass.CallGraph, Pass.DocOf and Pass.AllocSummaryOf (facts.go and
+//     allocfacts.go, backed by internal/analysis/cfg);
+//   - text and JSON diagnostic formatting (flat and grouped-by-analyzer)
+//     shared by cmd/asiclint and the self-test (run.go).
 //
 // The domain analyzers themselves live in subpackages (unitconv, floatcmp,
-// droppederr, unitdoc, ctxflow, goroleak, lockheld, unitflow) and the
-// curated repository-wide suite in internal/analysis/suite.
+// droppederr, unitdoc, ctxflow, goroleak, lockheld, unitflow, hotalloc,
+// spanend, obskeys) and the curated repository-wide suite in
+// internal/analysis/suite.
 package analysis
 
 import (

@@ -63,6 +63,46 @@ func TestWriteJSON(t *testing.T) {
 	}
 }
 
+func TestWriteGroupedJSON(t *testing.T) {
+	diags := append(sampleDiags(), analysis.Diagnostic{
+		Pos:      token.Position{Filename: "/mod/internal/core/engine.go", Line: 7, Column: 2},
+		Analyzer: "floatcmp",
+		Message:  "another exact comparison",
+	})
+	var buf bytes.Buffer
+	if err := analysis.WriteGroupedJSON(&buf, diags, "/mod"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Count     int `json:"count"`
+		Analyzers map[string]struct {
+			Count       int `json:"count"`
+			Diagnostics []struct {
+				File string `json:"file"`
+				Line int    `json:"line"`
+			} `json:"diagnostics"`
+		} `json:"analyzers"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Count != 3 || len(doc.Analyzers) != 2 {
+		t.Fatalf("want total 3 across 2 analyzers, got %d across %d", doc.Count, len(doc.Analyzers))
+	}
+	fc := doc.Analyzers["floatcmp"]
+	if fc.Count != 2 || len(fc.Diagnostics) != 2 {
+		t.Fatalf("floatcmp group = %+v, want both findings", fc)
+	}
+	// Input order (the flat report's file/line order) is preserved
+	// within a group.
+	if fc.Diagnostics[0].File != "internal/thermal/lane.go" || fc.Diagnostics[1].File != "internal/core/engine.go" {
+		t.Errorf("group order mangled: %+v", fc.Diagnostics)
+	}
+	if uc := doc.Analyzers["unitconv"]; uc.Count != 1 {
+		t.Errorf("unitconv group = %+v, want 1 finding", uc)
+	}
+}
+
 func TestWriteJSONEmpty(t *testing.T) {
 	var buf bytes.Buffer
 	if err := analysis.WriteJSON(&buf, nil, ""); err != nil {

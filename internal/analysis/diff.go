@@ -1,23 +1,36 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"os/exec"
 	"path/filepath"
 	"strings"
 )
 
+// ErrGitUnavailable reports that change detection cannot work in this
+// environment: git is not installed, or the lint root is not inside a
+// git work tree. It is a sentinel, not a failure of the ref the caller
+// asked about — a bad ref against a healthy repository is an ordinary
+// error. Callers (asiclint -diff) match it with errors.Is and degrade
+// to whole-module reporting instead of aborting.
+var ErrGitUnavailable = errors.New("analysis: git unavailable")
+
 // ChangedFiles returns the absolute paths of the .go files that differ
 // between the working tree and the given git ref (committed, staged or
 // unstaged changes), plus untracked .go files. It shells out to git in
-// root, which must be inside a repository. This powers `asiclint -diff`:
-// CI lints a PR's own files without re-litigating legacy code.
+// root. This powers `asiclint -diff`: CI lints a PR's own files without
+// re-litigating legacy code. When git is missing or root is outside any
+// work tree the error wraps ErrGitUnavailable.
 func ChangedFiles(root, ref string) ([]string, error) {
+	if _, err := exec.LookPath("git"); err != nil {
+		return nil, fmt.Errorf("%w: git not found in PATH", ErrGitUnavailable)
+	}
 	// git prints paths relative to the repository toplevel, which may be
 	// above root when linting a subdirectory of a larger repo.
 	top, err := gitLines(root, "rev-parse", "--show-toplevel")
 	if err != nil || len(top) == 0 || top[0] == "" {
-		return nil, fmt.Errorf("analysis: %s is not inside a git repository: %w", root, err)
+		return nil, fmt.Errorf("%w: %s is not inside a git work tree", ErrGitUnavailable, root)
 	}
 	base := filepath.FromSlash(top[0])
 	diff, err := gitLines(root, "diff", "--name-only", ref, "--", "*.go")

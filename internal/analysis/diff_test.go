@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -83,8 +84,46 @@ func TestChangedFiles(t *testing.T) {
 
 func TestChangedFilesBadRef(t *testing.T) {
 	root := initTestRepo(t)
-	if _, err := analysis.ChangedFiles(root, "no-such-ref"); err == nil {
+	_, err := analysis.ChangedFiles(root, "no-such-ref")
+	if err == nil {
 		t.Fatal("ChangedFiles with bogus ref: want error, got nil")
+	}
+	// A bad ref in a healthy repository is an ordinary error, not an
+	// environment problem: callers must not degrade to whole-module mode
+	// (that would silently mask a typoed ref in CI).
+	if errors.Is(err, analysis.ErrGitUnavailable) {
+		t.Fatalf("bad ref wrongly classified as ErrGitUnavailable: %v", err)
+	}
+}
+
+func TestChangedFilesOutsideWorkTree(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not available")
+	}
+	root := t.TempDir() // plain directory, never git-inited
+	// Stop git from discovering an enclosing repository above the temp
+	// dir, which would turn this into a test of the host filesystem.
+	t.Setenv("GIT_CEILING_DIRECTORIES", filepath.Dir(root))
+	_, err := analysis.ChangedFiles(root, "HEAD")
+	if err == nil {
+		t.Fatal("ChangedFiles outside a work tree: want error, got nil")
+	}
+	if !errors.Is(err, analysis.ErrGitUnavailable) {
+		t.Fatalf("outside a work tree: want ErrGitUnavailable, got %v", err)
+	}
+}
+
+func TestChangedFilesNoGitBinary(t *testing.T) {
+	root := t.TempDir()
+	// An empty PATH makes exec.LookPath fail, simulating a container
+	// image without git.
+	t.Setenv("PATH", root)
+	_, err := analysis.ChangedFiles(root, "HEAD")
+	if err == nil {
+		t.Fatal("ChangedFiles without git: want error, got nil")
+	}
+	if !errors.Is(err, analysis.ErrGitUnavailable) {
+		t.Fatalf("missing git binary: want ErrGitUnavailable, got %v", err)
 	}
 }
 

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"asiccloud/internal/analysis/cfg"
@@ -18,15 +19,24 @@ type Facts struct {
 	cfgs      map[ast.Node]*cfg.Graph
 	callgraph *cfg.CallGraph
 	docs      map[types.Object]string
+
+	// Interprocedural allocation facts (allocfacts.go): per-function
+	// summaries memoized across the Run (nil entry = declaration not in
+	// this Run), and the run-wide set of already-reported allocation
+	// sites so analyzers reporting at foreign positions never duplicate.
+	allocs       map[*types.Func]*AllocSummary
+	allocClaimed map[token.Pos]bool
 }
 
 // newFacts indexes the call graph and doc comments of every package in
 // the run. CFGs are built on demand by Pass.CFG.
 func newFacts(pkgs []*Package) *Facts {
 	f := &Facts{
-		cfgs:      make(map[ast.Node]*cfg.Graph),
-		callgraph: cfg.NewCallGraph(),
-		docs:      make(map[types.Object]string),
+		cfgs:         make(map[ast.Node]*cfg.Graph),
+		callgraph:    cfg.NewCallGraph(),
+		docs:         make(map[types.Object]string),
+		allocs:       make(map[*types.Func]*AllocSummary),
+		allocClaimed: make(map[token.Pos]bool),
 	}
 	for _, pkg := range pkgs {
 		f.callgraph.AddPackage(pkg.Info, pkg.Files)

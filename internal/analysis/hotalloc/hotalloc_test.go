@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"asiccloud/internal/analysis/atest"
+	"asiccloud/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	atest.Run(t, hotalloc.Analyzer, "hotalloc", atest.Config{})
+}

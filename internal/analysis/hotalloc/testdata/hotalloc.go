@@ -1,0 +1,134 @@
+// Package fixture exercises hotalloc: allocation machinery inside
+// //asic:hotpath functions, propagation through the local call graph
+// with the depth bound, run-wide dedup of shared callees, and the
+// //lint:ignore escape hatch.
+package fixture
+
+import "fmt"
+
+type config struct {
+	voltage float64
+	chips   int
+}
+
+// hotDirect is an annotated hot root whose body allocates four ways:
+// map make, append growth, fmt call, string concatenation.
+//
+//asic:hotpath
+func hotDirect(names []string, cfgs []config) string {
+	seen := make(map[string]bool) // flagged: make map
+	out := ""
+	for _, n := range names {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = out + n // flagged: string concatenation
+	}
+	cfgs = append(cfgs, config{voltage: 0.9}) // flagged: append growth
+	return fmt.Sprintf("%s/%d", out, len(cfgs)) // flagged: fmt call
+}
+
+// hotIndirect reaches helper's allocation through one call-graph hop.
+//
+//asic:hotpath
+func hotIndirect(n int) []float64 {
+	return scratchless(n)
+}
+
+// hotShared reaches the same helper; the shared allocation site must be
+// reported once per run, not once per root.
+//
+//asic:hotpath
+func hotShared(n int) []float64 {
+	return scratchless(n + 1)
+}
+
+func scratchless(n int) []float64 {
+	return make([]float64, n) // flagged once: make slice, via hotIndirect
+}
+
+// hotClosure allocates a closure environment by capturing v; the
+// non-capturing literal below it is free.
+//
+//asic:hotpath
+func hotClosure(v float64) func() float64 {
+	f := func() float64 { return v } // flagged: closure captures v
+	g := func() float64 { return 0 } // clean: captures nothing
+	_ = g
+	return f
+}
+
+// hotBoxed boxes a concrete struct into an any parameter.
+//
+//asic:hotpath
+func hotBoxed(c config) {
+	sink(c) // flagged: interface boxing of c
+	sink(nil)
+	p := &c
+	sink(p) // clean: pointers are interface-word shaped
+}
+
+func sink(v any) { _ = v }
+
+// hotEscape takes the address of a composite literal.
+//
+//asic:hotpath
+func hotEscape() *config {
+	return &config{chips: 8} // flagged: escaping composite literal
+}
+
+// hotJustified carries a reviewed suppression: the append is bounded by
+// the frontier size and amortizes to zero.
+//
+//asic:hotpath
+func hotJustified(frontier []config, c config) []config {
+	frontier = append(frontier, c) //lint:ignore hotalloc bounded by frontier size; amortized zero growth
+	return frontier
+}
+
+// hotDeep: hop4 sits exactly at the depth bound and is still scanned;
+// hop5 is one hop beyond and its allocation is invisible by contract.
+//
+//asic:hotpath
+func hotDeep() { hop1() }
+
+func hop1() { hop2() }
+func hop2() { hop3() }
+func hop3() { hop4() }
+func hop4() {
+	_ = make([]int, 4) // flagged: depth 4 is within the bound
+	hop5()
+}
+func hop5() {
+	_ = make([]int, 5) // clean: beyond maxDepth, invisible by contract
+}
+
+// hotWithBarrier calls a validator declared cold: nothing behind the
+// barrier is attributed to the hot root.
+//
+//asic:hotpath
+func hotWithBarrier(names []string) error {
+	if err := validate(names); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validate runs once per batch, before the per-item loop; its error
+// formatting is off the hot path by review.
+//
+//asic:coldpath
+func validate(names []string) error {
+	if len(names) == 0 {
+		return fmt.Errorf("empty batch of %d", len(names)) // clean: behind the coldpath barrier
+	}
+	return nil
+}
+
+// coldAlloc is not annotated: its allocations are nobody's business.
+func coldAlloc() []int {
+	xs := make([]int, 0, 8)
+	xs = append(xs, 1)
+	return xs
+}

@@ -1,0 +1,12 @@
+package obskeys_test
+
+import (
+	"testing"
+
+	"asiccloud/internal/analysis/atest"
+	"asiccloud/internal/analysis/obskeys"
+)
+
+func TestObskeys(t *testing.T) {
+	atest.Run(t, obskeys.Analyzer, "obskeys", atest.Config{})
+}

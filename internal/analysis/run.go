@@ -109,6 +109,42 @@ func WriteJSON(w io.Writer, diags []Diagnostic, baseDir string) error {
 	return enc.Encode(out)
 }
 
+// WriteGroupedJSON emits the diagnostics bucketed by analyzer:
+// {"count": N, "analyzers": {"hotalloc": {"count": n, "diagnostics":
+// [...]}, ...}}. This is the fix-list form (`make lint-fix-list`): a
+// worklist is tackled one analyzer at a time, so the grouping puts
+// every finding of a kind side by side instead of interleaved by file.
+// Within a group, diagnostics keep the file/line/column order of the
+// flat report; map keys serialize sorted, so output is deterministic.
+func WriteGroupedJSON(w io.Writer, diags []Diagnostic, baseDir string) error {
+	type group struct {
+		Count       int              `json:"count"`
+		Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	}
+	out := struct {
+		Count     int               `json:"count"`
+		Analyzers map[string]*group `json:"analyzers"`
+	}{Count: len(diags), Analyzers: map[string]*group{}}
+	for _, d := range diags {
+		g := out.Analyzers[d.Analyzer]
+		if g == nil {
+			g = &group{}
+			out.Analyzers[d.Analyzer] = g
+		}
+		g.Count++
+		g.Diagnostics = append(g.Diagnostics, jsonDiagnostic{
+			File:     relativize(d.Pos.Filename, baseDir),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 func relativize(filename, baseDir string) string {
 	if baseDir == "" {
 		return filename

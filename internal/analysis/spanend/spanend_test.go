@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"asiccloud/internal/analysis/atest"
+	"asiccloud/internal/analysis/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	atest.Run(t, spanend.Analyzer, "spanend", atest.Config{})
+}

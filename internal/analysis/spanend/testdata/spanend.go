@@ -1,0 +1,127 @@
+// Package fixture exercises spanend: spans that miss End on some path,
+// discarded spans, and the escape cases the analyzer must stay quiet
+// about because End legitimately happens elsewhere.
+package fixture
+
+import "context"
+
+type Span struct {
+	path  string
+	ended bool
+}
+
+func (s *Span) End() { s.ended = true }
+
+func (s *Span) Child(name string) *Span { return &Span{path: s.path + "/" + name} }
+
+func (s *Span) Path() string { return s.path }
+
+type Recorder struct {
+	last *Span
+}
+
+func (r *Recorder) Span(name string) *Span { return &Span{path: name} }
+
+func (r *Recorder) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{path: name}
+}
+
+// neverEnded starts a span and walks away.
+func neverEnded(r *Recorder) int { // want a diagnostic on the creation below
+	s := r.Span("sweep")
+	return len(s.Path())
+}
+
+// endedOnOneBranch only ends the span when work succeeds.
+func endedOnOneBranch(r *Recorder, ok bool) {
+	s := r.Span("chunk")
+	if ok {
+		s.End()
+	}
+}
+
+// earlyReturn leaks the span on the error path.
+func earlyReturn(r *Recorder, err error) error {
+	_, s := r.StartSpan(context.Background(), "explore")
+	if err != nil {
+		return err
+	}
+	s.End()
+	return nil
+}
+
+// dropped never even binds the span.
+func dropped(r *Recorder) {
+	r.Span("orphan")
+}
+
+// blankSpan discards the span result of StartSpan.
+func blankSpan(r *Recorder, ctx context.Context) {
+	_, _ = r.StartSpan(ctx, "ghost")
+}
+
+// childLeak ends the parent but not the child.
+func childLeak(r *Recorder) {
+	parent := r.Span("fold")
+	defer parent.End()
+	c := parent.Child("merge")
+	c.Path()
+}
+
+// deferred is the canonical clean shape.
+func deferred(r *Recorder) {
+	s := r.Span("ok")
+	defer s.End()
+	s.Path()
+}
+
+// bothBranches ends the span on every path explicitly.
+func bothBranches(r *Recorder, ok bool) {
+	s := r.Span("ok")
+	if ok {
+		s.End()
+		return
+	}
+	s.End()
+}
+
+// loopSpans start and end within each iteration.
+func loopSpans(r *Recorder, n int) {
+	for i := 0; i < n; i++ {
+		s := r.Span("iter")
+		s.Path()
+		s.End()
+	}
+}
+
+// returned escapes: the caller owns the End.
+func returned(r *Recorder) *Span {
+	s := r.Span("handoff")
+	return s
+}
+
+// stored escapes into the recorder; End happens at shutdown.
+func stored(r *Recorder) {
+	s := r.Span("pinned")
+	r.last = s
+}
+
+// passedOn escapes by argument; finish owns the End.
+func passedOn(r *Recorder) {
+	s := r.Span("delegated")
+	finish(s)
+}
+
+func finish(s *Span) { s.End() }
+
+// captured escapes into a literal that ends it later.
+func captured(r *Recorder) func() {
+	s := r.Span("async")
+	return func() { s.End() }
+}
+
+// justified documents why the open span is intentional.
+func justified(r *Recorder) {
+	s := r.Span("daemon") //lint:ignore spanend span deliberately left open for the process lifetime
+	s.Path()
+}

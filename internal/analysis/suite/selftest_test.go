@@ -65,6 +65,7 @@ func TestSuiteNamesAreUnique(t *testing.T) {
 	for _, name := range []string{
 		"unitconv", "floatcmp", "droppederr", "unitdoc",
 		"ctxflow", "goroleak", "lockheld", "unitflow",
+		"hotalloc", "spanend", "obskeys",
 	} {
 		if !seen[name] {
 			t.Errorf("suite is missing analyzer %s: %v", name, seen)

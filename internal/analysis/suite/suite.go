@@ -10,7 +10,10 @@ import (
 	"asiccloud/internal/analysis/droppederr"
 	"asiccloud/internal/analysis/floatcmp"
 	"asiccloud/internal/analysis/goroleak"
+	"asiccloud/internal/analysis/hotalloc"
 	"asiccloud/internal/analysis/lockheld"
+	"asiccloud/internal/analysis/obskeys"
+	"asiccloud/internal/analysis/spanend"
 	"asiccloud/internal/analysis/unitconv"
 	"asiccloud/internal/analysis/unitdoc"
 	"asiccloud/internal/analysis/unitflow"
@@ -23,7 +26,10 @@ func Analyzers() []*analysis.Analyzer {
 		droppederr.Analyzer,
 		floatcmp.Analyzer,
 		goroleak.Analyzer,
+		hotalloc.Analyzer,
 		lockheld.Analyzer,
+		obskeys.Analyzer,
+		spanend.Analyzer,
 		unitconv.Analyzer,
 		unitdoc.Analyzer,
 		unitflow.Analyzer,

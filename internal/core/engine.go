@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"log/slog"
 	"math"
@@ -158,6 +157,41 @@ func (e *Engine) Explore(sweep Sweep, model tco.Model) (Result, error) {
 	return e.ExploreContext(context.Background(), sweep, model)
 }
 
+// evalGeometry evaluates every (stacking option, voltage) configuration
+// of one geometry against its precomputed thermal plan, appending the
+// feasible points to pts and returning the (possibly grown) scratch
+// slices. This is the sweep's innermost loop — everything here runs
+// once per candidate configuration, millions of times per sweep, and
+// the ROADMAP's configs/sec budget assumes it is allocation-free in
+// steady state; the hotalloc analyzer enforces that transitively.
+//
+//asic:hotpath
+func (e *Engine) evalGeometry(cfg server.Config, plan thermal.OptimizeResult,
+	stackedOptions []bool, voltages []float64, model tco.Model,
+	pts []Point, column []server.Evaluation, sum *PruneSummary, ctr *exploreCounters) ([]Point, []server.Evaluation) {
+
+	for _, stacked := range stackedOptions {
+		cfg.Stacked = stacked
+		col, thermalPruned, evalPruned := server.EvaluateColumn(cfg, plan, voltages, column[:0])
+		column = col
+		if thermalPruned > 0 {
+			sum.add(PruneThermal, int64(thermalPruned))
+			ctr.thermal.Add(int64(thermalPruned))
+		}
+		if evalPruned > 0 {
+			sum.add(PruneEval, int64(evalPruned))
+			ctr.evalErr.Add(int64(evalPruned))
+		}
+		for _, ev := range col {
+			//lint:ignore hotalloc appends into the per-worker scratch; capacity tops out at the largest chunk and growth amortizes to zero
+			pts = append(pts, Point{Evaluation: ev, TCO: model.Of(ev.DollarsPerOp, ev.WattsPerOp)})
+			sum.Feasible++
+			ctr.feasible.Inc()
+		}
+	}
+	return pts, column
+}
+
 // pointDollars and pointWatts are the two Pareto objectives.
 func pointDollars(p Point) float64 { return p.DollarsPerOp }
 func pointWatts(p Point) float64   { return p.WattsPerOp }
@@ -263,6 +297,18 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 		if voltages, err = NormalizeVoltages(voltages); err != nil {
 			gridSpan.End()
 			return Result{}, err
+		}
+		// Reject out-of-range grids once, before the sweep: every point
+		// of an out-of-range voltage would otherwise fail inside
+		// vlsi.Spec.At per configuration (constructing an error each
+		// time) and be silently counted as an eval prune. Failing loudly
+		// here is both cheaper and more honest.
+		lo, hi := sweep.Base.RCA.MinVoltage(), sweep.Base.RCA.MaxVoltage()
+		if voltages[0] < lo-1e-9 || voltages[len(voltages)-1] > hi+1e-9 {
+			gridSpan.End()
+			return Result{}, fmt.Errorf(
+				"core: voltage grid [%.3f, %.3f] V outside the RCA's operating range [%.3f, %.3f] V",
+				voltages[0], voltages[len(voltages)-1], lo, hi)
 		}
 	} else {
 		voltages = VoltageGrid(sweep.Base.RCA.MinVoltage(), sweep.Base.RCA.MaxVoltage())
@@ -376,6 +422,14 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 				localT     optAcc
 				workerFrom = time.Now()
 				busy       time.Duration
+				// Per-worker scratch, reused across every chunk this
+				// worker claims: the point buffer and the evaluation
+				// column buffer stop growing once they have seen the
+				// largest chunk, so the steady-state sweep does not
+				// allocate per configuration (see BenchmarkRepeatedSweep
+				// with -benchmem).
+				scratch []Point
+				column  []server.Evaluation
 			)
 			if !keep {
 				localFold = pareto.NewFold(pointDollars, pointWatts)
@@ -391,7 +445,7 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 				if hi > len(work) {
 					hi = len(work)
 				}
-				var pts []Point
+				scratch = scratch[:0]
 				for _, g := range work[lo:hi] {
 					if ctx.Err() != nil {
 						break
@@ -426,38 +480,19 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 						busy += time.Since(geomFrom)
 						continue
 					}
-					for _, stacked := range stackedOptions {
-						cfg.Stacked = stacked
-						for i, v := range voltages {
-							cfg.Voltage = v
-							ev, err := server.EvaluateWithPlan(cfg, plan)
-							if err != nil {
-								if errors.Is(err, server.ErrThermal) {
-									// Chip heat grows monotonically with
-									// voltage: on the ascending grid all
-									// higher voltages fail too, so prune
-									// the rest.
-									rest := int64(len(voltages) - i)
-									localSum.add(PruneThermal, rest)
-									ctr.thermal.Add(rest)
-									break
-								}
-								localSum.add(PruneEval, 1)
-								ctr.evalErr.Inc()
-								continue
-							}
-							b := model.Of(ev.DollarsPerOp, ev.WattsPerOp)
-							pts = append(pts, Point{Evaluation: ev, TCO: b})
-							localSum.Feasible++
-							ctr.feasible.Inc()
-						}
-					}
+					scratch, column = e.evalGeometry(cfg, plan, stackedOptions, voltages,
+						model, scratch, column, &localSum, &ctr)
 					busy += time.Since(geomFrom)
 				}
 				if keep {
+					// Retained chunks get an exact-size copy so the
+					// scratch stays with the worker and Result.Points
+					// carries no append slack.
+					pts := make([]Point, len(scratch))
+					copy(pts, scratch)
 					chunkPoints[c] = pts
 				} else {
-					for _, p := range pts {
+					for _, p := range scratch {
 						localFold.Add(p)
 						localE.add(p.WattsPerOp, p)
 						localC.add(p.DollarsPerOp, p)

@@ -43,13 +43,19 @@ func (f *Fold[T]) Len() int { return len(f.pts) }
 
 // Add folds one point in: a no-op if p is dominated by (or has a NaN
 // objective alongside) the retained set, otherwise p is inserted and
-// every retained point p dominates is dropped.
+// every retained point p dominates is dropped. The sweep engine calls
+// Add once per feasible configuration, so it is allocation-sensitive:
+// memory use is bounded by the frontier, not by how many points flow
+// through.
+//
+//asic:hotpath
 func (f *Fold[T]) Add(p T) {
 	px, py := f.x(p), f.y(p)
 	if math.IsNaN(px) || math.IsNaN(py) {
 		return
 	}
 	// First retained index at or after p in (x asc, y asc) order.
+	//lint:ignore hotalloc the closure only captures stack locals and f, so escape analysis keeps it off the heap
 	pos := sort.Search(len(f.pts), func(i int) bool {
 		xi := f.x(f.pts[i])
 		//lint:ignore floatcmp the staircase invariant needs an exact lexicographic order over coordinates
@@ -80,10 +86,12 @@ func (f *Fold[T]) Add(p T) {
 	}
 	if end > pos {
 		f.pts[pos] = p
+		//lint:ignore hotalloc shifts within capacity; growth is bounded by the frontier size, not the point count
 		f.pts = append(f.pts[:pos+1], f.pts[end:]...)
 		return
 	}
 	var zero T
+	//lint:ignore hotalloc growth is bounded by the frontier size, not the point count
 	f.pts = append(f.pts, zero)
 	copy(f.pts[pos+1:], f.pts[pos:])
 	f.pts[pos] = p

@@ -127,7 +127,12 @@ func (c Config) network() interconnect.Network {
 	}
 }
 
-// Validate checks configuration sanity before evaluation.
+// Validate checks configuration sanity before evaluation. The sweep's
+// hot loop validates once per column (EvaluateColumn), not once per
+// configuration, so the error formatting here and in the substrate
+// validators it calls is amortized off the per-point path.
+//
+//asic:coldpath
 func (c Config) Validate() error {
 	if err := c.RCA.Validate(); err != nil {
 		return err
@@ -335,7 +340,58 @@ func EvaluateWithPlan(cfg Config, best thermal.OptimizeResult) (Evaluation, erro
 	if err := cfg.Validate(); err != nil {
 		return Evaluation{}, err
 	}
+	var rails [3]power.Rail
+	ev, err := evalPoint(cfg, best, &rails)
+	if err != nil && errors.Is(err, ErrThermal) {
+		// The hot path returns the bare sentinel; decorate it with the
+		// numbers here, where one error per call is fine.
+		return ev, fmt.Errorf("%w: chip heat %.1f W exceeds %.1f W capacity",
+			ErrThermal, ev.ChipHeat, best.ChipPower)
+	}
+	return ev, err
+}
 
+// EvaluateColumn evaluates one geometry across an ascending, positive
+// voltage grid, sharing the precomputed thermal plan, and appends the
+// feasible evaluations to out (pass a reused scratch slice to keep the
+// sweep's steady state allocation-free). Chip heat grows monotonically
+// with voltage, so the first ErrThermal prunes every higher voltage:
+// thermalPruned counts the points discarded that way, evalPruned the
+// points that failed evaluation individually. The config is validated
+// once for the whole column, and infeasible points cost no error
+// construction at all — this is the entry point the sweep engine's hot
+// loop uses.
+func EvaluateColumn(cfg Config, plan thermal.OptimizeResult, voltages []float64, out []Evaluation) (res []Evaluation, thermalPruned, evalPruned int) {
+	if len(voltages) == 0 {
+		return out, 0, 0
+	}
+	cfg.Voltage = voltages[0]
+	if err := cfg.Validate(); err != nil {
+		return out, 0, len(voltages)
+	}
+	var rails [3]power.Rail
+	for i, v := range voltages {
+		cfg.Voltage = v
+		ev, err := evalPoint(cfg, plan, &rails)
+		if err != nil {
+			if errors.Is(err, ErrThermal) {
+				return out, len(voltages) - i, evalPruned
+			}
+			evalPruned++
+			continue
+		}
+		out = append(out, ev) //lint:ignore hotalloc appends into the caller's reusable scratch; capacity is reached after the first columns and growth amortizes to zero
+	}
+	return out, 0, evalPruned
+}
+
+// evalPoint is the allocation-free core of the Figure 4 flow: steps 1-7
+// with a caller-provided rail scratch and sentinel errors (bare
+// ErrThermal, errDegenerate) on the paths the sweep hits per
+// configuration. Callers that face humans wrap the sentinels with
+// detail; callers that prune millions of points match them with
+// errors.Is and pay nothing.
+func evalPoint(cfg Config, best thermal.OptimizeResult, rails *[3]power.Rail) (Evaluation, error) {
 	// 1. Voltage scaling model: the RCA's operating point.
 	op, err := cfg.RCA.At(cfg.Voltage)
 	if err != nil {
@@ -346,35 +402,33 @@ func EvaluateWithPlan(cfg Config, best thermal.OptimizeResult) (Evaluation, erro
 	net := cfg.network()
 	dieArea := cfg.DieArea()
 	if dieArea > cfg.Process.MaxDieArea {
+		//lint:ignore hotalloc ThermalPlan rejects oversized dies before any voltage column starts, so this fires at most once per hand-built call, never per swept configuration
 		return Evaluation{}, fmt.Errorf("%w: die %.0f mm² exceeds %.0f mm²",
 			ErrGeometry, dieArea, cfg.Process.MaxDieArea)
 	}
 
 	// 3. Performance, with the DRAM bandwidth cap. When DRAM binds,
 	// clock down to saturation: dynamic power follows utilization.
+	// (Plain ifs, not a closure: this runs once per swept configuration
+	// and the hot path stays free of allocation machinery.)
 	chipPerf := float64(cfg.RCAsPerChip) * op.Perf
 	utilization := 1.0
-	applyCap := func(cap float64) {
-		if cap > 0 && chipPerf > cap {
-			utilization *= cap / chipPerf
-			chipPerf = cap
-		}
+	if cap := cfg.PerfPerDRAM * float64(cfg.DRAM.PerASIC); cfg.DRAM.PerASIC > 0 && cap > 0 && chipPerf > cap {
+		utilization *= cap / chipPerf
+		chipPerf = cap
 	}
-	if cfg.DRAM.PerASIC > 0 {
-		applyCap(cfg.PerfPerDRAM * float64(cfg.DRAM.PerASIC))
+	if cap := cfg.PerfCapPerChip; cap > 0 && chipPerf > cap {
+		utilization *= cap / chipPerf
+		chipPerf = cap
 	}
-	applyCap(cfg.PerfCapPerChip)
 
 	// 4. Chip power. Logic and SRAM dynamic power scale with
-	// utilization; leakage and fixed overheads do not.
+	// utilization; leakage and fixed overheads do not, so each rail's
+	// power is railPower · ((1-leak)·util + leak).
 	leakFrac := cfg.RCA.LeakageFraction
-	scaleDyn := func(railPower float64) float64 {
-		dyn := railPower * (1 - leakFrac)
-		leak := railPower * leakFrac
-		return dyn*utilization + leak
-	}
-	logicPerChip := scaleDyn(op.LogicPower) * float64(cfg.RCAsPerChip)
-	sramPerChip := scaleDyn(op.SRAMPower) * float64(cfg.RCAsPerChip)
+	dynScale := (1-leakFrac)*utilization + leakFrac
+	logicPerChip := op.LogicPower * dynScale * float64(cfg.RCAsPerChip)
+	sramPerChip := op.SRAMPower * dynScale * float64(cfg.RCAsPerChip)
 	fixedPerChip := cfg.DRAM.CtrlPower() + cfg.ExtraFixedPowerPerChip + net.OnPCB.Power
 	chipHeat := logicPerChip + sramPerChip + fixedPerChip
 
@@ -429,14 +483,14 @@ func EvaluateWithPlan(cfg Config, best thermal.OptimizeResult) (Evaluation, erro
 		}
 		dcdcCost = delivery.DCDCCost
 	} else {
-		rails := []power.Rail{
-			{Name: "logic", Voltage: op.Voltage, Power: logicPerChip * float64(chips)},
-			fixedRail,
-		}
+		rails[0] = power.Rail{Name: "logic", Voltage: op.Voltage, Power: logicPerChip * float64(chips)}
+		rails[1] = fixedRail
+		n := 2
 		if sramPerChip > 0 {
-			rails = append(rails, power.Rail{Name: "sram", Voltage: op.SRAMVoltage, Power: sramPerChip * float64(chips)})
+			rails[2] = power.Rail{Name: "sram", Voltage: op.SRAMVoltage, Power: sramPerChip * float64(chips)}
+			n = 3
 		}
-		delivery, err = power.Plan(cfg.PSU, cfg.DCDC, rails, twelveV)
+		delivery, err = power.Plan(cfg.PSU, cfg.DCDC, rails[:n], twelveV)
 		if err != nil {
 			return Evaluation{}, err
 		}
@@ -446,6 +500,7 @@ func EvaluateWithPlan(cfg Config, best thermal.OptimizeResult) (Evaluation, erro
 	// 7. Bill of materials.
 	dieCost, err := cfg.Process.DieCost(dieArea)
 	if err != nil {
+		//lint:ignore hotalloc die-size errors are geometry properties caught by ThermalPlan before the voltage column; this wrap is for hand-built calls
 		return Evaluation{}, fmt.Errorf("%w: %v", ErrGeometry, err)
 	}
 	chipAmps := (logicPerChip + sramPerChip + fixedPerChip) / op.Voltage
@@ -500,14 +555,22 @@ func EvaluateWithPlan(cfg Config, best thermal.OptimizeResult) (Evaluation, erro
 		ev.WattsPerOp = delivery.WallPower / perf
 	}
 	if !thermalOK {
-		return ev, fmt.Errorf("%w: chip heat %.1f W exceeds %.1f W capacity",
-			ErrThermal, chipHeat, best.ChipPower)
+		// Bare sentinel: the sweep prunes on this per infeasible
+		// configuration, and error formatting here once dominated the
+		// warm sweep's allocation profile. EvaluateWithPlan adds the
+		// wattage detail for human-facing callers.
+		return ev, ErrThermal
 	}
 	if math.IsNaN(ev.DollarsPerOp) || math.IsInf(ev.DollarsPerOp, 0) {
-		return ev, fmt.Errorf("server: degenerate design point")
+		return ev, errDegenerate
 	}
 	return ev, nil
 }
+
+// errDegenerate flags design points whose Pareto metrics come out NaN
+// or infinite (zero performance). A package-level sentinel so the hot
+// path never constructs it.
+var errDegenerate = errors.New("server: degenerate design point")
 
 // otherCost covers chassis, cabling, connectors and final assembly.
 const otherCost = 40.0

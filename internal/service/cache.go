@@ -30,19 +30,19 @@ type cacheEntry struct {
 // max <= 0 disables caching (every Get misses, Put is a no-op).
 func newResultCache(max int, rec *obs.Recorder) *resultCache {
 	reg := rec.Registry()
-	reg.SetHelp("asiccloudd_cache_hits_total",
+	reg.SetHelp("asiccloud_cache_hits_total",
 		"sweep requests answered from the result cache")
-	reg.SetHelp("asiccloudd_cache_misses_total",
+	reg.SetHelp("asiccloud_cache_misses_total",
 		"sweep requests that had to run on the engine")
-	reg.SetHelp("asiccloudd_cache_entries",
+	reg.SetHelp("asiccloud_cache_entries",
 		"completed sweep results resident in the cache")
 	return &resultCache{
 		max:       max,
 		order:     list.New(),
 		entries:   make(map[string]*list.Element),
-		hits:      rec.Counter("asiccloudd_cache_hits_total"),
-		misses:    rec.Counter("asiccloudd_cache_misses_total"),
-		residency: rec.Gauge("asiccloudd_cache_entries"),
+		hits:      rec.Counter("asiccloud_cache_hits_total"),
+		misses:    rec.Counter("asiccloud_cache_misses_total"),
+		residency: rec.Gauge("asiccloud_cache_entries"),
 	}
 }
 

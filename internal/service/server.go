@@ -111,10 +111,10 @@ type Server struct {
 func New(cfg Config, rec *obs.Recorder) *Server {
 	cfg = cfg.withDefaults()
 	reg := rec.Registry()
-	reg.SetHelp("asiccloudd_jobs_total", "sweep jobs reaching a terminal state, by state")
-	reg.SetHelp("asiccloudd_queue_depth", "jobs accepted but not yet claimed by a worker")
-	reg.SetHelp("asiccloudd_busy_workers", "pool workers currently running a sweep")
-	reg.SetHelp("asiccloudd_sweep_seconds", "wall-clock seconds per engine sweep (cache hits excluded)")
+	reg.SetHelp("asiccloud_jobs_total", "sweep jobs reaching a terminal state, by state")
+	reg.SetHelp("asiccloud_queue_depth", "jobs accepted but not yet claimed by a worker")
+	reg.SetHelp("asiccloud_busy_workers", "pool workers currently running a sweep")
+	reg.SetHelp("asiccloud_sweep_seconds", "wall-clock seconds per engine sweep (cache hits excluded)")
 	eng := core.NewEngine(rec)
 	eng.DiscardPoints = true // the API returns frontier + optima, never the full point set
 	eng.Workers = cfg.EngineWorkers
@@ -131,9 +131,9 @@ func New(cfg Config, rec *obs.Recorder) *Server {
 		baseCancel:  cancel,
 		jobs:        make(map[string]*Job),
 		queue:       make(chan *Job, cfg.QueueDepth),
-		queueDepth:  rec.Gauge("asiccloudd_queue_depth"),
-		busyWorkers: rec.Gauge("asiccloudd_busy_workers"),
-		sweepSecs:   rec.Histogram("asiccloudd_sweep_seconds", nil),
+		queueDepth:  rec.Gauge("asiccloud_queue_depth"),
+		busyWorkers: rec.Gauge("asiccloud_busy_workers"),
+		sweepSecs:   rec.Histogram("asiccloud_sweep_seconds", nil),
 	}
 	s.explore = s.engine.ExploreContext
 	for i := 0; i < cfg.Workers; i++ {
@@ -169,7 +169,7 @@ func (s *Server) runJob(job *Job) {
 	ctx = obs.WithSpan(ctx, job.span)
 	if !job.claim(cancel) {
 		// Canceled while queued; requestCancel already finalized it.
-		s.rec.Counter("asiccloudd_jobs_total", "state", string(StateCanceled)).Inc()
+		s.rec.Counter("asiccloud_jobs_total", "state", string(StateCanceled)).Inc()
 		return
 	}
 	s.busyWorkers.Add(1)
@@ -183,7 +183,7 @@ func (s *Server) runJob(job *Job) {
 	finish := func(result []byte, err error) {
 		job.finish(result, err)
 		state, _, errMsg := job.snapshot()
-		s.rec.Counter("asiccloudd_jobs_total", "state", string(state)).Inc()
+		s.rec.Counter("asiccloud_jobs_total", "state", string(state)).Inc()
 		attrs := []slog.Attr{
 			slog.String("job_id", job.id),
 			slog.String("state", string(state)),

@@ -146,7 +146,7 @@ func TestSubmitPollResultAndCacheHit(t *testing.T) {
 
 	// The counters are visible on /metrics for operators.
 	_, metrics := get(t, ts, "/metrics")
-	for _, want := range []string{"asiccloudd_cache_hits_total 1", "asiccloudd_cache_misses_total 1"} {
+	for _, want := range []string{"asiccloud_cache_hits_total 1", "asiccloud_cache_misses_total 1"} {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("/metrics missing %q", want)
 		}

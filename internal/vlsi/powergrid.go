@@ -1,6 +1,7 @@
 package vlsi
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -45,6 +46,8 @@ func DefaultPowerGrid() PowerGrid {
 }
 
 // Validate reports whether the grid is physical.
+//
+//asic:coldpath
 func (g PowerGrid) Validate() error {
 	switch {
 	case g.BumpPitch <= 0:
@@ -91,16 +94,25 @@ func (g PowerGrid) RequiredMetalFraction(powerDensity, volts float64) (float64, 
 		return 0, err
 	}
 	if powerDensity < 0 || volts <= 0 {
+		//lint:ignore hotalloc input sanity; the sweep derives both operands from validated configs, so this branch never runs per configuration
 		return 0, fmt.Errorf("vlsi: power density must be >= 0 and voltage positive")
 	}
 	j := powerDensity / volts
 	need := j * g.BumpPitch * g.BumpPitch * g.SheetOhms / (8 * g.DroopBudget * volts)
 	if need > 1 {
-		return 0, fmt.Errorf("vlsi: droop budget unreachable at %.2f W/mm² and %.2f V (needs %.0f%% metal); shrink the bump pitch",
-			powerDensity, volts, 100*need)
+		// A bare sentinel: dense near-threshold sweeps hit this once per
+		// swept configuration and discard the error (the evaluation just
+		// records GridOK=false), so formatting the numbers here would
+		// allocate on the hot path for nothing.
+		return 0, ErrDroopBudget
 	}
 	return math.Max(need, 0.02), nil
 }
+
+// ErrDroopBudget flags operating points whose droop budget cannot be
+// met even with a full metal layer; the design must shrink its bump
+// pitch instead.
+var ErrDroopBudget = errors.New("vlsi: droop budget unreachable even at 100% metal; shrink the bump pitch")
 
 // MaxPowerDensity is the highest power density the grid supports at the
 // given voltage within its droop budget.

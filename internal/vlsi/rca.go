@@ -59,7 +59,13 @@ type Spec struct {
 	Curve *DelayCurve
 }
 
-// Validate reports whether the spec is physically meaningful.
+// Validate reports whether the spec is physically meaningful. A spec
+// that fails validation never enters a sweep — the engine validates
+// before building the grid, and EvaluateColumn validates once per
+// column — so the error formatting below is off the per-configuration
+// path.
+//
+//asic:coldpath
 func (s *Spec) Validate() error {
 	switch {
 	case s.Area <= 0:
@@ -142,11 +148,13 @@ func (s *Spec) At(v float64) (OperatingPoint, error) {
 		// Tolerant match: sweep grids reconstruct voltages by repeated
 		// addition, so the nominal point may differ in the last ulp.
 		if !units.ApproxEqual(v, s.NominalVoltage, 1e-9) {
+			//lint:ignore hotalloc the engine pre-validates its grid against the RCA range before sweeping, so this branch only runs for hand-built calls
 			return OperatingPoint{}, fmt.Errorf("%w: %s runs only at %.2f V", ErrNotScalable, s.Name, s.NominalVoltage)
 		}
 	}
 	c := s.curve()
 	if v < c.Min() || v > c.Max() {
+		//lint:ignore hotalloc the engine pre-validates its grid against the RCA range before sweeping, so this branch only runs for hand-built calls
 		return OperatingPoint{}, fmt.Errorf("vlsi: %s: voltage %.2f V outside [%.2f, %.2f]", s.Name, v, c.Min(), c.Max())
 	}
 

@@ -80,8 +80,8 @@ echo "smoke_service: cache hit is byte-identical"
 
 # Property 3: the hit shows up on /metrics.
 curl -sf "$base/metrics" >"$workdir/metrics.txt" || fail "GET /metrics"
-grep -q '^asiccloudd_cache_hits_total 1$' "$workdir/metrics.txt" \
-    || fail "/metrics does not show asiccloudd_cache_hits_total 1"
+grep -q '^asiccloud_cache_hits_total 1$' "$workdir/metrics.txt" \
+    || fail "/metrics does not show asiccloud_cache_hits_total 1"
 echo "smoke_service: cache-hit counter accounted on /metrics"
 
 # Property 4: one submission is one connected trace. POST a distinct

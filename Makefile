@@ -1,9 +1,12 @@
 # Tier-1 gate: everything CI requires before a merge. The full suite
 # runs without the race detector; the concurrency-heavy packages (the
 # exploration engine, the pool server and the job service) re-run under
-# -race, which is where data races would actually live. The smoke test
-# boots a real asiccloudd, runs the quickstart sweep against it, and
-# diffs the daemon's answer against the CLI's.
+# -race, which is where data races would actually live. The service
+# smoke test boots a real asiccloudd, runs the quickstart sweep against
+# it, and diffs the daemon's answer against the CLI's; the distributed
+# smoke test byte-diffs a 3-worker coordinator sweep against the
+# single-process run and kills a worker mid-sweep to prove lease
+# requeue recovers its chunks.
 .PHONY: check
 check: build
 	go vet ./...
@@ -13,6 +16,7 @@ check: build
 	go test -race ./internal/core ./internal/cloud ./internal/service
 	go run ./cmd/benchreport -trajectory
 	./scripts/smoke_service.sh
+	./scripts/smoke_distributed.sh
 
 # Domain-aware static analysis (unit discipline, float hygiene, error
 # propagation, context/goroutine/lock dataflow). Non-zero exit on any

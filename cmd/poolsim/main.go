@@ -138,6 +138,10 @@ func main() {
 	}
 
 	begin := time.Now()
+	// The job list is complete before the fleet starts, so the pool can
+	// be closed up front: Results will deliver every recorded result
+	// and close once the last job resolves.
+	pool.Close()
 	fleetSpan := rootSpan.Child("fleet")
 	total, err := cloud.RunFleet(ctx, l.Addr().String(), "miner", *workers, handler)
 	if err != nil {
@@ -153,28 +157,25 @@ func main() {
 		s.JobsDone, s.JobsFailed, elapsed.Round(time.Millisecond),
 		units.HsToMHs(totalHashes/elapsed.Seconds()))
 
-	// Verify every share.
+	// Verify every share. The pool was closed before the fleet ran, so
+	// Results delivers each recorded result losslessly and closes once
+	// the last job resolved — no drop-on-full, no guessing when the
+	// stream is done.
 	verifySpan := rootSpan.Child("verify_shares")
 	verified := 0
-loop:
-	for {
-		select {
-		case r := <-pool.Results():
-			if r.Err != "" {
-				continue
-			}
-			h := header
-			h.Nonce = binary.LittleEndian.Uint32(r.Output)
-			ok, err := bitcoin.CheckProofOfWork(&h)
-			if err != nil || !ok {
-				log.Fatalf("share from %s does not verify", r.Worker)
-			}
-			verified++
-		default:
-			fmt.Printf("%d shares verified against the target\n", verified)
-			break loop
+	for r := range pool.Results() {
+		if r.Err != "" {
+			continue
 		}
+		h := header
+		h.Nonce = binary.LittleEndian.Uint32(r.Output)
+		ok, err := bitcoin.CheckProofOfWork(&h)
+		if err != nil || !ok {
+			log.Fatalf("share from %s does not verify", r.Worker)
+		}
+		verified++
 	}
+	fmt.Printf("%d shares verified against the target\n", verified)
 	verifySpan.End()
 	rootSpan.End()
 

@@ -8,11 +8,21 @@
 // RCAs in a scale-out fashion."
 //
 // The protocol is line-delimited JSON. Workers pull: they connect, say
-// hello, then alternate getwork requests and result submissions.
+// hello, then alternate getwork requests and result submissions. A
+// getwork that cannot be answered immediately blocks server-side while
+// jobs are still outstanding — an expired lease or a dead connection
+// can requeue work at any moment — and the pool answers nojob only when
+// it is genuinely out of work (drained and closed, or idle with nothing
+// in flight), so nojob is the worker's clean exit; any other connection
+// loss surfaces as ErrUnexpectedDisconnect. A coordinator enqueues
+// jobs, calls Close after the last Add, and ranges over Results, which
+// delivers every recorded result losslessly and closes once the pool
+// drains.
 //
 // Note the division of labor with package service: cloud distributes
-// the *workload itself* (hashing jobs) across ASIC worker machines,
-// while service serves *design-space explorations* (which server to
-// build) over HTTP. The two layers correspond to the paper's runtime
-// system and its design methodology respectively.
+// the *workload itself* (hashing jobs, sweep chunks) across worker
+// machines, while service serves *design-space explorations* (which
+// server to build) over HTTP — and, via service.RunCoordinator, fans
+// one exploration out over this pool. The two layers correspond to the
+// paper's runtime system and its design methodology respectively.
 package cloud

@@ -67,6 +67,10 @@ type poolMetrics struct {
 	failed   *obs.Counter
 	inflight *obs.Gauge // jobs issued and not yet resolved or requeued
 	queued   *obs.Gauge // jobs waiting in the pending queue
+	// rec mints per-worker latency histograms on demand: worker names
+	// are not known at Instrument time, and each result is one registry
+	// lookup (off the hot path — one per completed job).
+	rec *obs.Recorder
 }
 
 // lease tracks a job handed to a worker that has not reported back.
@@ -84,6 +88,12 @@ type Pool struct {
 	issued  map[uint64]time.Time // last hand-out time of outstanding jobs
 	stats   Stats
 	met     poolMetrics
+	// resBuf holds recorded results until the pump goroutine moves them
+	// to the results channel. Delivery is lossless: the buffer grows as
+	// needed, so jobs enqueued via Add past the channel's construction
+	// capacity can never overflow it.
+	resBuf  []Result
+	resCond *sync.Cond // signaled on resBuf append and on Close
 	results chan Result
 	closed  bool
 	// leaseDuration bounds how long a worker may hold a job before it
@@ -107,9 +117,78 @@ func NewPool(jobs []Job) *Pool {
 		log:     obs.NopLogger(),
 		now:     time.Now,
 	}
+	p.resCond = sync.NewCond(&p.mu)
 	p.stats.JobsQueued = len(jobs)
 	p.stats.WorkerResults = make(map[string]int)
+	// The pump owns the consumer side of resBuf for the pool's
+	// lifetime; Close is its cancellation signal (it exits after the
+	// closed pool drains).
+	//lint:ignore goroleak the pump exits when Close marks the pool drained; a pool that is never closed intentionally keeps it for the process lifetime
+	go p.pump()
 	return p
+}
+
+// pump moves recorded results from the internal buffer to the results
+// channel, preserving record order. It blocks on the channel rather
+// than dropping, which is what makes Results lossless for slow
+// consumers; once the pool is closed and every queued job has a
+// recorded result, it closes the channel and exits, turning a
+// coordinator's `for range pool.Results()` into a clean termination.
+func (p *Pool) pump() {
+	for {
+		p.mu.Lock()
+		for len(p.resBuf) == 0 && !p.drainedLocked() {
+			//lint:ignore lockheld Cond.Wait atomically releases p.mu while blocked and reacquires it on wake; the lock is never held across the sleep
+			p.resCond.Wait()
+		}
+		batch := p.resBuf
+		p.resBuf = nil
+		finished := len(batch) == 0 && p.drainedLocked()
+		p.mu.Unlock()
+		if finished {
+			close(p.results)
+			return
+		}
+		for _, r := range batch {
+			p.results <- r
+		}
+	}
+}
+
+// drainedLocked reports whether the pool is closed and every queued job
+// has a recorded result. Callers hold p.mu.
+func (p *Pool) drainedLocked() bool {
+	return p.closed && p.stats.JobsDone+p.stats.JobsFailed >= p.stats.JobsQueued
+}
+
+// idleLocked reports whether the pool has nothing to hand out and
+// nothing outstanding that could be requeued: pending is empty and no
+// issued job is in flight. Distinct from drained — an idle pool may
+// receive more work via Add. Callers hold p.mu.
+// drained reports whether the pool is closed with every queued job
+// resolved — the state in which a closed listener means graceful
+// shutdown, not failure.
+func (p *Pool) drained() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.drainedLocked()
+}
+
+func (p *Pool) idleLocked() bool {
+	return len(p.pending) == 0 && len(p.issued) == 0
+}
+
+// Close marks the pool complete: no further Add succeeds, and once
+// every queued job has a recorded result the Results channel is closed.
+// A coordinator calls Close after enqueueing its last job and then
+// ranges over Results until the channel closes. Close is idempotent and
+// does not interrupt jobs already pending or leased — they still run to
+// completion and their results are still delivered.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.resCond.Broadcast()
+	p.mu.Unlock()
 }
 
 // Instrument attaches an obs recorder: job latency histograms
@@ -117,6 +196,8 @@ func NewPool(jobs []Job) *Pool {
 // requeue counters, done/failed counters, and in-flight/queued gauges.
 // Call before Serve; a nil recorder leaves the pool un-instrumented.
 func (p *Pool) Instrument(rec *obs.Recorder) {
+	rec.Registry().SetHelp("asiccloud_pool_worker_job_seconds",
+		"per-worker seconds from job issue to result")
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.met = poolMetrics{
@@ -127,6 +208,7 @@ func (p *Pool) Instrument(rec *obs.Recorder) {
 		failed:   rec.Counter("asiccloud_pool_jobs_failed_total"),
 		inflight: rec.Gauge("asiccloud_pool_inflight_jobs"),
 		queued:   rec.Gauge("asiccloud_pool_queued_jobs"),
+		rec:      rec,
 	}
 	p.met.queued.Set(float64(len(p.pending)))
 }
@@ -180,6 +262,16 @@ func (p *Pool) reapExpiredLocked() []uint64 {
 // answered to the pending queue.
 func (p *Pool) requeue(j Job) {
 	p.mu.Lock()
+	p.requeueLocked(j)
+	log := p.log
+	p.mu.Unlock()
+	log.LogAttrs(context.Background(), slog.LevelWarn, "connection died holding job; requeued",
+		slog.Uint64("job_id", j.ID))
+}
+
+// requeueLocked returns an issued job to the pending queue. Callers
+// hold p.mu.
+func (p *Pool) requeueLocked(j Job) {
 	delete(p.leases, j.ID)
 	delete(p.issued, j.ID)
 	p.pending = append(p.pending, j)
@@ -187,14 +279,33 @@ func (p *Pool) requeue(j Job) {
 	p.met.requeued.Inc()
 	p.met.inflight.Add(-1)
 	p.met.queued.Set(float64(len(p.pending)))
+}
+
+// releaseDeadConn requeues the job a dying connection still holds —
+// but only on pools without leasing, where no other recovery mechanism
+// exists and the job would otherwise be stranded while other workers
+// wait on it forever. With leasing enabled the lease timer owns
+// recovery: the worker behind the dead socket may still be computing,
+// and its result (arriving on a new connection) should win the
+// first-result race rather than racing a premature requeue.
+func (p *Pool) releaseDeadConn(j Job) {
+	p.mu.Lock()
+	if p.leaseDuration > 0 || p.done[j.ID] {
+		p.mu.Unlock()
+		return
+	}
+	if _, outstanding := p.issued[j.ID]; !outstanding {
+		p.mu.Unlock()
+		return // already requeued or re-answered elsewhere
+	}
+	p.requeueLocked(j)
 	log := p.log
 	p.mu.Unlock()
 	log.LogAttrs(context.Background(), slog.LevelWarn, "connection died holding job; requeued",
 		slog.Uint64("job_id", j.ID))
 }
 
-// Add enqueues another job. It fails once the pool has been drained and
-// closed.
+// Add enqueues another job. It fails once Close has been called.
 func (p *Pool) Add(j Job) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -238,14 +349,14 @@ func (p *Pool) next() (Job, bool) {
 	}
 	log := p.log
 	p.mu.Unlock()
-	for _, id := range expired {
-		log.LogAttrs(context.Background(), slog.LevelWarn, "lease expired; job requeued",
-			slog.Uint64("job_id", id))
-	}
+	logExpired(log, expired)
 	return out, ok
 }
 
-// record stores a result, ignoring duplicates for the same job.
+// record stores a result, ignoring duplicates for the same job. The
+// arriving result always beats its own just-lapsing lease (it is
+// recorded before expired leases are reaped), and reaping here means
+// leases lapse even when no worker is asking for work.
 func (p *Pool) record(r Result) {
 	p.mu.Lock()
 	if p.done[r.JobID] {
@@ -255,7 +366,10 @@ func (p *Pool) record(r Result) {
 	p.done[r.JobID] = true
 	delete(p.leases, r.JobID)
 	if issuedAt, ok := p.issued[r.JobID]; ok {
-		p.met.latency.Observe(p.now().Sub(issuedAt).Seconds())
+		lat := p.now().Sub(issuedAt).Seconds()
+		p.met.latency.Observe(lat)
+		p.met.rec.Histogram("asiccloud_pool_worker_job_seconds", nil,
+			"worker", r.Worker).Observe(lat)
 		p.met.inflight.Add(-1)
 		delete(p.issued, r.JobID)
 	}
@@ -267,13 +381,14 @@ func (p *Pool) record(r Result) {
 		p.met.failed.Inc()
 	}
 	p.stats.WorkerResults[r.Worker]++
-	select {
-	case p.results <- r:
-	default:
-		// Results channel full: drop for the stream, stats still count.
-	}
+	// Lossless delivery: buffer under the lock, let the pump do the
+	// (possibly blocking) channel send outside it.
+	p.resBuf = append(p.resBuf, r)
+	p.resCond.Signal()
+	expired := p.reapExpiredLocked()
 	log := p.log
 	p.mu.Unlock()
+	logExpired(log, expired)
 	if r.Err != "" {
 		log.LogAttrs(context.Background(), slog.LevelWarn, "job failed",
 			slog.Uint64("job_id", r.JobID),
@@ -286,19 +401,37 @@ func (p *Pool) record(r Result) {
 	}
 }
 
-// Stats returns a snapshot.
+// Stats returns a snapshot. Expired leases are reaped first, so the
+// snapshot reflects lease state even when every worker is busy or gone
+// (before, leases only lapsed when a worker asked for more work).
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	expired := p.reapExpiredLocked()
 	s := p.stats
 	s.WorkerResults = make(map[string]int, len(p.stats.WorkerResults))
 	for k, v := range p.stats.WorkerResults {
 		s.WorkerResults[k] = v
 	}
+	log := p.log
+	p.mu.Unlock()
+	logExpired(log, expired)
 	return s
 }
 
-// Results streams completed jobs.
+// logExpired reports reaped leases after p.mu is released (logging
+// never happens under the pool lock).
+func logExpired(log *slog.Logger, expired []uint64) {
+	for _, id := range expired {
+		log.LogAttrs(context.Background(), slog.LevelWarn, "lease expired; job requeued",
+			slog.Uint64("job_id", id))
+	}
+}
+
+// Results streams every recorded result in record order. Delivery is
+// lossless — a slow consumer back-pressures the internal buffer instead
+// of dropping — and the channel is closed once Close has been called
+// and all queued jobs are resolved, so `for range pool.Results()` is
+// the coordinator's drain loop.
 func (p *Pool) Results() <-chan Result { return p.results }
 
 // Remaining reports jobs not yet handed out.
@@ -309,7 +442,15 @@ func (p *Pool) Remaining() int {
 }
 
 // Serve accepts worker connections until the context is canceled or the
-// listener fails. Each connection is served on its own goroutine.
+// listener fails. Each connection is served on its own goroutine, and
+// Serve returns only after every connection goroutine has finished.
+//
+// Closing the listener once the pool has drained is the graceful
+// shutdown: Serve stops accepting, treats the closed listener as a
+// clean exit rather than a failure, and its return waits for connected
+// workers to collect their final drained nojob and disconnect on their
+// own — no worker sees a mid-protocol hangup. Canceling the context is
+// the hard stop: it closes the listener and every worker socket.
 func (p *Pool) Serve(ctx context.Context, l net.Listener) error {
 	var wg sync.WaitGroup
 	defer wg.Wait()
@@ -321,7 +462,7 @@ func (p *Pool) Serve(ctx context.Context, l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			if ctx.Err() != nil {
+			if ctx.Err() != nil || p.drained() {
 				return nil
 			}
 			return fmt.Errorf("cloud: accept: %w", err)
@@ -335,6 +476,11 @@ func (p *Pool) Serve(ctx context.Context, l net.Listener) error {
 		}()
 	}
 }
+
+// getworkPollInterval is how often a serveConn holding an unanswerable
+// getwork re-checks the queue. Each poll also reaps expired leases (via
+// next), so a waiting worker is what recycles a stalled peer's job.
+const getworkPollInterval = 15 * time.Millisecond
 
 // serveConn speaks the pull protocol with one worker. Cancellation
 // closes the connection, which unblocks the Decode the loop would
@@ -356,7 +502,14 @@ func (p *Pool) serveConn(ctx context.Context, conn net.Conn) {
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	worker := "anonymous"
+	// held is the job this connection was handed and has not answered;
+	// if the connection dies holding it, a lease-less pool requeues it
+	// immediately (a leased pool lets the lease timer decide).
+	var held *Job
 	defer func() {
+		if held != nil {
+			p.releaseDeadConn(*held)
+		}
 		log.LogAttrs(ctx, slog.LevelDebug, "worker disconnected",
 			slog.String("worker", worker),
 			slog.String("remote", remote))
@@ -381,8 +534,11 @@ func (p *Pool) serveConn(ctx context.Context, conn net.Conn) {
 				return
 			}
 		case "getwork":
-			j, ok := p.next()
+			j, ok := p.waitNext(ctx)
 			if !ok {
+				// Truly out of work — drained, idle, or shutting down —
+				// not just momentarily empty; nojob is the worker's
+				// clean exit.
 				//lint:ignore droppederr courtesy reply on a connection we are about to drop
 				_ = enc.Encode(message{Type: "nojob"})
 				return
@@ -392,6 +548,7 @@ func (p *Pool) serveConn(ctx context.Context, conn net.Conn) {
 				p.requeue(j)
 				return
 			}
+			held = &j
 		case "result":
 			if m.Result == nil {
 				return
@@ -400,12 +557,40 @@ func (p *Pool) serveConn(ctx context.Context, conn net.Conn) {
 			if r.Worker == "" {
 				r.Worker = worker
 			}
+			if held != nil && r.JobID == held.ID {
+				held = nil
+			}
 			p.record(r)
 			if err := enc.Encode(message{Type: "ack"}); err != nil {
 				return
 			}
 		default:
 			return // unknown message: drop the connection
+		}
+	}
+}
+
+// waitNext pops the next job, blocking while the pending queue is
+// momentarily empty but jobs are still outstanding: an expired lease or
+// a dead connection can requeue work at any moment, and dropping the
+// worker here would leave that work with nobody to run it. It returns
+// ok=false only when the pool is genuinely out of work — drained and
+// closed, or idle with nothing in flight — or the context is canceled.
+func (p *Pool) waitNext(ctx context.Context) (Job, bool) {
+	for {
+		if j, ok := p.next(); ok {
+			return j, true
+		}
+		p.mu.Lock()
+		idle := p.idleLocked() || p.drainedLocked()
+		p.mu.Unlock()
+		if idle || ctx.Err() != nil {
+			return Job{}, false
+		}
+		select {
+		case <-ctx.Done():
+			return Job{}, false
+		case <-time.After(getworkPollInterval):
 		}
 	}
 }
@@ -454,6 +639,7 @@ func RunWorker(ctx context.Context, addr, id string, h Handler) (int, error) {
 		}
 		switch m.Type {
 		case "nojob":
+			// The explicit drained nojob is the only clean exit.
 			return completed, nil
 		case "job":
 			if m.Job == nil {
@@ -467,8 +653,11 @@ func RunWorker(ctx context.Context, addr, id string, h Handler) (int, error) {
 			if err := enc.Encode(message{Type: "result", Result: &r}); err != nil {
 				return completed, ctxErrOr(ctx, err)
 			}
-			if err := dec.Decode(&m); err != nil || m.Type != "ack" {
-				return completed, ctxErrOr(ctx, errors.New("cloud: missing result ack"))
+			if err := dec.Decode(&m); err != nil {
+				return completed, ctxErrOr(ctx, err)
+			}
+			if m.Type != "ack" {
+				return completed, fmt.Errorf("cloud: expected result ack, got %q", m.Type)
 			}
 			completed++
 		default:
@@ -477,12 +666,27 @@ func RunWorker(ctx context.Context, addr, id string, h Handler) (int, error) {
 	}
 }
 
+// ErrUnexpectedDisconnect reports that the connection to the pool died
+// mid-protocol — a coordinator crash, a network partition, a watchdog
+// close — as opposed to the pool's explicit drained "nojob", which is
+// the only clean worker exit. Before this distinction an io.EOF was
+// mapped to nil, so a coordinator crash mid-sweep looked exactly like a
+// completed drain to RunWorker and RunFleet callers.
+var ErrUnexpectedDisconnect = errors.New("cloud: connection to pool lost before drain")
+
+// ctxErrOr maps a transport error seen by the worker: context
+// cancellation wins (the watchdog's own close is not a pool failure),
+// and any connection-level failure — EOF included — is wrapped in
+// ErrUnexpectedDisconnect so callers can tell a dead coordinator from a
+// drained pool.
 func ctxErrOr(ctx context.Context, err error) error {
 	if ctx.Err() != nil {
 		return ctx.Err()
 	}
-	if errors.Is(err, io.EOF) {
-		return nil
+	var opErr *net.OpError
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.As(err, &opErr) {
+		return fmt.Errorf("%w: %v", ErrUnexpectedDisconnect, err)
 	}
 	return err
 }

@@ -287,95 +287,22 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 	ctr := newExploreCounters(rec)
 
 	gridSpan := root.Child("grid_build")
-	voltages := sweep.Voltages
-	if len(voltages) > 0 {
-		var err error
-		// The thermal early break prunes "all higher voltages" after the
-		// first ErrThermal, which is only sound on an ascending grid: a
-		// user-supplied unsorted list would prune voltages that are
-		// actually lower and feasible.
-		if voltages, err = NormalizeVoltages(voltages); err != nil {
-			gridSpan.End()
-			return Result{}, err
-		}
-		// Reject out-of-range grids once, before the sweep: every point
-		// of an out-of-range voltage would otherwise fail inside
-		// vlsi.Spec.At per configuration (constructing an error each
-		// time) and be silently counted as an eval prune. Failing loudly
-		// here is both cheaper and more honest.
-		lo, hi := sweep.Base.RCA.MinVoltage(), sweep.Base.RCA.MaxVoltage()
-		if voltages[0] < lo-1e-9 || voltages[len(voltages)-1] > hi+1e-9 {
-			gridSpan.End()
-			return Result{}, fmt.Errorf(
-				"core: voltage grid [%.3f, %.3f] V outside the RCA's operating range [%.3f, %.3f] V",
-				voltages[0], voltages[len(voltages)-1], lo, hi)
-		}
-	} else {
-		voltages = VoltageGrid(sweep.Base.RCA.MinVoltage(), sweep.Base.RCA.MaxVoltage())
-	}
-	if len(voltages) == 0 {
+	grid, err := buildGrid(sweep)
+	if err != nil {
 		gridSpan.End()
-		return Result{}, fmt.Errorf(
-			"core: empty voltage grid (RCA voltage range %.2f..%.2f V; need 0 <= lo <= hi)",
-			sweep.Base.RCA.MinVoltage(), sweep.Base.RCA.MaxVoltage())
+		return Result{}, err
 	}
-	silicon := sweep.SiliconPerLane
-	if len(silicon) == 0 {
-		silicon = DefaultSiliconPerLane()
-	}
-	chips := sweep.ChipsPerLane
-	if len(chips) == 0 {
-		chips = DefaultChipsPerLane()
-	}
-	drams := sweep.DRAMPerASIC
-	if len(drams) == 0 {
-		drams = []int{0}
-	}
-	stackedOptions := []bool{false}
-	if sweep.Stacked {
-		stackedOptions = append(stackedOptions, true)
-	}
-	// One geometry spawns this many candidate configurations.
-	perGeom := int64(len(stackedOptions)) * int64(len(voltages))
-
-	// Build the geometry work list, de-duplicating silicon targets that
-	// quantize to the same RCAs per chip.
-	var summary PruneSummary
-	seen := make(map[geom]bool)
-	var work []geom
-	for _, sil := range silicon {
-		for _, n := range chips {
-			r := int(math.Round(sil / float64(n) / sweep.Base.RCA.Area))
-			if r < 1 {
-				// The whole (silicon, chips) cell — every DRAM count,
-				// stacking option and voltage — dies to quantization.
-				cell := int64(len(drams)) * perGeom
-				summary.Generated += cell
-				summary.add(PruneQuantization, cell)
-				continue
-			}
-			for _, d := range drams {
-				g := geom{rcasPerChip: r, chipsLane: n, dramPerASIC: d}
-				if seen[g] {
-					summary.Duplicates++
-					continue
-				}
-				seen[g] = true
-				work = append(work, g)
-			}
-		}
-	}
+	work := grid.work
 	// Quantized cells enter (and leave) the pipeline at grid build; the
 	// surviving geometries are counted as workers actually claim them,
 	// so an aborted sweep's accounting stays exact.
+	summary := grid.summary
 	ctr.configs.Add(summary.Generated)
 	ctr.quantized.Add(summary.Reasons[PruneQuantization])
 	ctr.duplicates.Add(summary.Duplicates)
 	gridSpan.End()
 	if len(work) == 0 {
-		return Result{Pruned: summary}, fmt.Errorf(
-			"core: empty design space: every silicon/chips combination quantizes below one RCA per chip (%s)",
-			summary)
+		return Result{Pruned: summary}, emptySpaceError(summary)
 	}
 
 	sweepSpan := root.Child("sweep")
@@ -409,7 +336,7 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 		slog.Int("geometries", len(work)),
 		slog.Int("workers", workers),
 		slog.Int("chunks", numChunks),
-		slog.Int("voltages", len(voltages)))
+		slog.Int("voltages", len(grid.voltages)))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
@@ -451,37 +378,12 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 						break
 					}
 					geomFrom := time.Now()
-					localSum.Generated += perGeom
-					ctr.configs.Add(perGeom)
 					done := processed.Add(1)
 					if sweep.Progress != nil {
 						sweep.Progress(int(done), len(work))
 					}
-					cfg := sweep.Base
-					cfg.RCAsPerChip = g.rcasPerChip
-					cfg.ChipsPerLane = g.chipsLane
-					if g.dramPerASIC > 0 {
-						sub, err := dram.NewSubsystem(cfg.DRAM.Device.Kind, g.dramPerASIC)
-						if err != nil {
-							localSum.add(PruneDRAM, perGeom)
-							ctr.dramErr.Add(perGeom)
-							busy += time.Since(geomFrom)
-							continue
-						}
-						cfg.DRAM = sub
-					} else {
-						cfg.DRAM = dram.Subsystem{}
-					}
-					plan, err := e.thermalPlan(cfg)
-					if err != nil {
-						// Geometry does not fit at any voltage.
-						localSum.add(PruneThermal, perGeom)
-						ctr.thermal.Add(perGeom)
-						busy += time.Since(geomFrom)
-						continue
-					}
-					scratch, column = e.evalGeometry(cfg, plan, stackedOptions, voltages,
-						model, scratch, column, &localSum, &ctr)
+					scratch, column = e.evalCell(g, sweep.Base, grid, model,
+						scratch, column, &localSum, &ctr)
 					busy += time.Since(geomFrom)
 				}
 				if keep {
@@ -565,22 +467,11 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 			res.TCOOptimal = points[i]
 		}
 	} else {
-		// The fold's survivor set is order-independent; sorting it and
-		// re-running Frontier applies the same duplicate tie-breaking
-		// the retaining path does, so the frontier is byte-identical.
-		surv := fold.Points()
-		sort.Slice(surv, func(i, j int) bool { return lessPoint(surv[i], surv[j]) })
-		fr := pareto.Frontier(surv, pointDollars, pointWatts)
-		res.Frontier = pareto.Select(surv, fr)
-		if energyAcc.ok {
-			res.EnergyOptimal = energyAcc.p
-		}
-		if costAcc.ok {
-			res.CostOptimal = costAcc.p
-		}
-		if tcoAcc.ok {
-			res.TCOOptimal = tcoAcc.p
-		}
+		// finishFold applies the same sort → Frontier normalization the
+		// retaining path does, so the frontier is byte-identical; it is
+		// shared with ResultMerger.Finish, which is what keeps a
+		// distributed merge byte-identical to this path too.
+		finishFold(fold, energyAcc, costAcc, tcoAcc, &res)
 	}
 	paretoSpan.End()
 	rec.Gauge("asiccloud_explore_frontier_size").Set(float64(len(res.Frontier)))

@@ -69,6 +69,13 @@ bench:
 	go test -run '^$$' -bench BenchmarkRepeatedSweep -benchmem -benchtime 20x . \
 		| go run ./cmd/benchreport -into BENCH_5.json
 
+# Regenerate every paper table and figure plus the ext-* study
+# artifacts (geographic siting, cooling, lifetime, node, the carbon
+# frontier and the carbon crossover break-evens) into results/.
+.PHONY: figures
+figures:
+	go run ./cmd/paperfigs
+
 .PHONY: test
 test:
 	go test ./...

@@ -102,7 +102,7 @@ subcommands:
   nre         apply the two-for-two rule (Fig. 18)
   deploy      size a fleet for an aggregate performance demand
   study       sensitivity studies: energy, lifetime, layout, cooling,
-              node, wafer
+              node, wafer, carbon
   chipsim     cycle-level on-ASIC NoC + control-plane simulation (Fig. 2)
   provision   latency-aware fleet sizing under diurnal bursty load
   mine        build a demo blockchain with the built-in SHA-256 miner (§2)
@@ -171,6 +171,7 @@ func cmdDesign(ctx context.Context, args []string) error {
 	fmt.Println("energy-optimal:", res.EnergyOptimal.Describe())
 	fmt.Println("TCO-optimal:   ", res.TCOOptimal.Describe())
 	fmt.Println("cost-optimal:  ", res.CostOptimal.Describe())
+	fmt.Println("carbon-optimal:", res.CarbonOptimal.Describe())
 	if *verbose {
 		fmt.Println()
 		fmt.Print(res.TCOOptimal.Report())
@@ -331,7 +332,7 @@ func cmdDeploy(ctx context.Context, args []string) error {
 
 func cmdStudy(args []string) error {
 	fs := flag.NewFlagSet("study", flag.ExitOnError)
-	which := fs.String("which", "energy", "study: energy, lifetime, layout, cooling, node, wafer")
+	which := fs.String("which", "energy", "study: energy, lifetime, layout, cooling, node, wafer, carbon")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -390,6 +391,39 @@ func cmdStudy(args []string) error {
 		fmt.Printf("%-10s %-10s %-10s %s\n", "$/wafer", "voltage", "$/GH/s", "TCO/GH/s")
 		for _, p := range pts {
 			fmt.Printf("%-10.0f %-10.2f %-10.3f %.3f\n", p.WaferCost, p.OptimalVoltage, p.DollarsPerOp, p.TCOPerOp)
+		}
+	case "carbon":
+		s, err := studies.CarbonCrossoverStudy(
+			[]float64{1, 1.5, 2, 3},
+			[]float64{0.05, 0.10, 0.25, 0.50, 0.90, 1.00},
+			[]float64{475, 20},
+			studies.DefaultSubstrate())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("carbon-optimal ASIC design: %.2f V, embodied %.3f kg CO2e/GH/s, %.3f W/GH/s\n\n",
+			s.OptimalVoltage, s.EmbodiedKgPerOp, s.WattsPerOp)
+		fmt.Printf("break-even ASIC utilization vs %.0fx-area/%.0fx-power substrate (%.0f yr at %.0f%%):\n",
+			studies.DefaultSubstrate().AreaOverhead, studies.DefaultSubstrate().PowerOverhead,
+			studies.DefaultSubstrate().LifetimeYears, 100*studies.DefaultSubstrate().Utilization)
+		fmt.Printf("%-16s %-12s %s\n", "grid gCO2e/kWh", "asic years", "breakeven util")
+		for _, b := range s.Breakevens {
+			mark := fmt.Sprintf("%.4f", b.Utilization)
+			if b.Utilization > 1 {
+				mark += " (never)"
+			}
+			fmt.Printf("%-16.0f %-12.1f %s\n", b.GridGCO2ePerKWh, b.LifetimeYears, mark)
+		}
+		fmt.Printf("\n%-16s %-8s %-8s %-14s %-14s %s\n",
+			"grid gCO2e/kWh", "years", "util", "asic kg/GHs·yr", "sub kg/GHs·yr", "winner")
+		for _, r := range s.Rows {
+			winner := "substrate"
+			if r.ASICWins {
+				winner = "ASIC"
+			}
+			fmt.Printf("%-16.0f %-8.1f %-8.2f %-14.3f %-14.3f %s\n",
+				r.GridGCO2ePerKWh, r.LifetimeYears, r.Utilization,
+				r.ASICKgPerOpYear, r.SubstrateKgPerOpYear, winner)
 		}
 	default:
 		return fmt.Errorf("unknown study %q", *which)

@@ -27,6 +27,7 @@ var PhysicsPackages = []string{
 	"internal/dram",
 	"internal/power",
 	"internal/tco",
+	"internal/carbon",
 }
 
 // Analyzer is the unitdoc analyzer.

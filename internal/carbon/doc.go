@@ -1,0 +1,29 @@
+// Package carbon extends the paper's TCO methodology to carbon
+// accounting: the same two-term structure that prices a server —
+// capital you amortize plus energy you meter — reappears as embodied
+// CO2e (emitted once, at the fab and the assembly line) plus
+// operational CO2e (emitted continuously, at the grid's carbon
+// intensity, for as long as the server runs).
+//
+// The embodied side reuses the vlsi package's manufacturing model: a
+// processed wafer carries a fixed emission burden, and a die's share of
+// it is the wafer burden divided by good (yielded) dies per wafer —
+// exactly how vlsi.Process.DieCost turns wafer price into die cost, so
+// yield losses are charged to carbon the same way they are charged to
+// dollars. Packaging, heat sinks and the board add per-chip and
+// per-server terms.
+//
+// The operational side mirrors tco.Model's electricity term with the
+// $/kWh price replaced by a grid intensity in g CO2e/kWh, scaled by
+// PUE, the amortization lifetime, and a utilization factor (an idle
+// specialized cloud still paid its embodied carbon; it only avoids the
+// operational share).
+//
+// Model.Of produces a Breakdown per unit performance — kg CO2e per
+// op/s of capacity over the lifetime — which is to carbon what TCO per
+// op/s is to dollars: the scalar the carbon-optimal design minimizes,
+// and the second axis of the TCO-vs-CO2e Pareto frontier. Default() is
+// calibrated from the GreenFPGA and FPGA-vs-ASIC sustainability
+// studies cited in PAPERS.md (see DESIGN.md "Carbon model
+// derivation").
+package carbon

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"asiccloud/internal/carbon"
 	"asiccloud/internal/dram"
 	"asiccloud/internal/pareto"
 	"asiccloud/internal/server"
@@ -37,6 +38,10 @@ import (
 type sweepGrid struct {
 	voltages       []float64
 	stackedOptions []bool
+	// carbon is the resolved emission model (Sweep.Carbon or the
+	// default), validated once at grid build so every chunk of a sweep
+	// — local or remote — prices carbon identically.
+	carbon carbon.Model
 	// perGeom is the candidate-configuration count one geometry spawns.
 	perGeom int64
 	work    []geom
@@ -52,7 +57,13 @@ type sweepGrid struct {
 // is the caller's check (ExploreContext and PlanSweep both report it
 // with the grid summary attached).
 func buildGrid(sweep Sweep) (*sweepGrid, error) {
-	g := &sweepGrid{}
+	g := &sweepGrid{carbon: carbon.Default()}
+	if sweep.Carbon != nil {
+		g.carbon = *sweep.Carbon
+	}
+	if err := g.carbon.Validate(); err != nil {
+		return nil, err
+	}
 	voltages := sweep.Voltages
 	if len(voltages) > 0 {
 		var err error
@@ -168,8 +179,14 @@ func (e *Engine) evalCell(g geom, base server.Config, grid *sweepGrid, model tco
 		ctr.thermal.Add(grid.perGeom)
 		return scratch, column
 	}
+	// Embodied carbon is a pure function of the geometry — die area and
+	// chip count are constant across the voltage column — so it is
+	// computed once per cell and amortized per point inside
+	// evalGeometry.
+	embodiedKg := grid.carbon.EmbodiedServerKg(cfg.Process, cfg.DieArea(),
+		cfg.ChipsPerLane*cfg.Lanes)
 	return e.evalGeometry(cfg, plan, grid.stackedOptions, grid.voltages, model,
-		scratch, column, sum, ctr)
+		grid.carbon, embodiedKg, scratch, column, sum, ctr)
 }
 
 // SweepPlan is the deterministic partition of a sweep into chunks: the
@@ -239,12 +256,16 @@ type ChunkResult struct {
 	// watts) staircase order — not the global frontier; merging every
 	// chunk's survivors reproduces it.
 	Frontier []Point `json:"frontier,omitempty"`
-	// EnergyOptimal, CostOptimal and TCOOptimal are the chunk's argmin
-	// candidates under the engine's deterministic tie-break; nil when
-	// the chunk has no feasible point.
+	// CarbonFrontier is the chunk-local (TCO per op/s, kg CO2e per
+	// op/s) fold's survivor set, merged the same way Frontier is.
+	CarbonFrontier []Point `json:"carbon_frontier,omitempty"`
+	// EnergyOptimal, CostOptimal, TCOOptimal and CarbonOptimal are the
+	// chunk's argmin candidates under the engine's deterministic
+	// tie-break; nil when the chunk has no feasible point.
 	EnergyOptimal *Point `json:"energy_optimal,omitempty"`
 	CostOptimal   *Point `json:"cost_optimal,omitempty"`
 	TCOOptimal    *Point `json:"tco_optimal,omitempty"`
+	CarbonOptimal *Point `json:"carbon_optimal,omitempty"`
 	// Pruned accounts the chunk's own candidates only (thermal, DRAM
 	// and eval prunes plus feasible counts); grid-build prunes live in
 	// SweepPlan.GridSummary.
@@ -290,7 +311,8 @@ func (e *Engine) EvaluateChunk(ctx context.Context, sweep Sweep, model tco.Model
 		column  []server.Evaluation
 	)
 	fold := pareto.NewFold(pointDollars, pointWatts)
-	var energy, cost, tcoOpt optAcc
+	cfold := pareto.NewFold(pointTCO, pointCO2)
+	var energy, cost, tcoOpt, carbonOpt optAcc
 	for _, g := range grid.work[lo:hi] {
 		if err := ctx.Err(); err != nil {
 			return ChunkResult{}, fmt.Errorf("core: chunk %d aborted: %w", chunk, err)
@@ -299,12 +321,15 @@ func (e *Engine) EvaluateChunk(ctx context.Context, sweep Sweep, model tco.Model
 		scratch, column = e.evalCell(g, sweep.Base, grid, model, scratch, column, &sum, &ctr)
 		for _, p := range scratch {
 			fold.Add(p)
+			cfold.Add(p)
 			energy.add(p.WattsPerOp, p)
 			cost.add(p.DollarsPerOp, p)
 			tcoOpt.add(p.TCOPerOp(), p)
+			carbonOpt.add(p.CO2PerOp(), p)
 		}
 	}
-	res := ChunkResult{Chunk: chunk, NumChunks: numChunks, Frontier: fold.Points(), Pruned: sum}
+	res := ChunkResult{Chunk: chunk, NumChunks: numChunks,
+		Frontier: fold.Points(), CarbonFrontier: cfold.Points(), Pruned: sum}
 	if energy.ok {
 		p := energy.p
 		res.EnergyOptimal = &p
@@ -317,6 +342,10 @@ func (e *Engine) EvaluateChunk(ctx context.Context, sweep Sweep, model tco.Model
 		p := tcoOpt.p
 		res.TCOOptimal = &p
 	}
+	if carbonOpt.ok {
+		p := carbonOpt.p
+		res.CarbonOptimal = &p
+	}
 	return res, nil
 }
 
@@ -325,12 +354,14 @@ func (e *Engine) EvaluateChunk(ctx context.Context, sweep Sweep, model tco.Model
 // the caller guarantees each chunk index is merged exactly once (the
 // pool's first-result-wins dedup provides this under requeue).
 type ResultMerger struct {
-	fold    *pareto.Fold[Point]
-	energy  optAcc
-	cost    optAcc
-	tcoOpt  optAcc
-	summary PruneSummary
-	merged  int
+	fold      *pareto.Fold[Point]
+	cfold     *pareto.Fold[Point]
+	energy    optAcc
+	cost      optAcc
+	tcoOpt    optAcc
+	carbonOpt optAcc
+	summary   PruneSummary
+	merged    int
 }
 
 // NewResultMerger seeds a merger with the plan's grid-build prune
@@ -338,6 +369,7 @@ type ResultMerger struct {
 func NewResultMerger(plan *SweepPlan) *ResultMerger {
 	return &ResultMerger{
 		fold:    pareto.NewFold(pointDollars, pointWatts),
+		cfold:   pareto.NewFold(pointTCO, pointCO2),
 		summary: plan.GridSummary(),
 	}
 }
@@ -347,6 +379,9 @@ func (m *ResultMerger) Add(cr ChunkResult) {
 	for _, p := range cr.Frontier {
 		m.fold.Add(p)
 	}
+	for _, p := range cr.CarbonFrontier {
+		m.cfold.Add(p)
+	}
 	if cr.EnergyOptimal != nil {
 		m.energy.add(cr.EnergyOptimal.WattsPerOp, *cr.EnergyOptimal)
 	}
@@ -355,6 +390,9 @@ func (m *ResultMerger) Add(cr ChunkResult) {
 	}
 	if cr.TCOOptimal != nil {
 		m.tcoOpt.add(cr.TCOOptimal.TCOPerOp(), *cr.TCOOptimal)
+	}
+	if cr.CarbonOptimal != nil {
+		m.carbonOpt.add(cr.CarbonOptimal.CO2PerOp(), *cr.CarbonOptimal)
 	}
 	m.summary.merge(cr.Pruned)
 	m.merged++
@@ -374,20 +412,25 @@ func (m *ResultMerger) Finish() (Result, error) {
 		return res, fmt.Errorf(
 			"core: no feasible design point in the swept space (%s)", m.summary)
 	}
-	finishFold(m.fold, m.energy, m.cost, m.tcoOpt, &res)
+	finishFold(m.fold, m.cfold, m.energy, m.cost, m.tcoOpt, m.carbonOpt, &res)
 	return res, nil
 }
 
 // finishFold turns fold survivors and optimum accumulators into the
-// reported frontier and optima. The fold's survivor set is
+// reported frontiers and optima. Each fold's survivor set is
 // order-independent; sorting it and re-running Frontier applies the
-// same duplicate tie-breaking the retaining path does, so the frontier
-// is byte-identical however the points were folded.
-func finishFold(fold *pareto.Fold[Point], energy, cost, tcoOpt optAcc, res *Result) {
+// same duplicate tie-breaking the retaining path does, so both the
+// (dollars, watts) frontier and the (TCO, CO2e) frontier are
+// byte-identical however the points were folded.
+func finishFold(fold, cfold *pareto.Fold[Point], energy, cost, tcoOpt, carbonOpt optAcc, res *Result) {
 	surv := fold.Points()
 	sort.Slice(surv, func(i, j int) bool { return lessPoint(surv[i], surv[j]) })
 	fr := pareto.Frontier(surv, pointDollars, pointWatts)
 	res.Frontier = pareto.Select(surv, fr)
+	csurv := cfold.Points()
+	sort.Slice(csurv, func(i, j int) bool { return lessPoint(csurv[i], csurv[j]) })
+	cfr := pareto.Frontier(csurv, pointTCO, pointCO2)
+	res.CarbonFrontier = pareto.Select(csurv, cfr)
 	if energy.ok {
 		res.EnergyOptimal = energy.p
 	}
@@ -396,5 +439,8 @@ func finishFold(fold *pareto.Fold[Point], energy, cost, tcoOpt optAcc, res *Resu
 	}
 	if tcoOpt.ok {
 		res.TCOOptimal = tcoOpt.p
+	}
+	if carbonOpt.ok {
+		res.CarbonOptimal = carbonOpt.p
 	}
 }

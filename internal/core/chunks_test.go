@@ -88,23 +88,29 @@ func requireResultsIdentical(t *testing.T, want, got Result) {
 	if !reflect.DeepEqual(want.TCOOptimal, got.TCOOptimal) {
 		t.Error("TCO optimal differs")
 	}
+	if !reflect.DeepEqual(want.CarbonFrontier, got.CarbonFrontier) {
+		t.Errorf("carbon frontier differs: %d vs %d points", len(want.CarbonFrontier), len(got.CarbonFrontier))
+	}
+	if !reflect.DeepEqual(want.CarbonOptimal, got.CarbonOptimal) {
+		t.Error("carbon optimal differs")
+	}
 	if !reflect.DeepEqual(want.Pruned, got.Pruned) {
 		t.Errorf("prune accounting differs:\nwant %s\ngot  %s", want.Pruned, got.Pruned)
 	}
 	// Byte-level check on the full wire-relevant content.
 	wb, err := json.Marshal(struct {
-		F       []Point
-		E, C, T Point
-		P       PruneSummary
-	}{want.Frontier, want.EnergyOptimal, want.CostOptimal, want.TCOOptimal, want.Pruned})
+		F, CF      []Point
+		E, C, T, G Point
+		P          PruneSummary
+	}{want.Frontier, want.CarbonFrontier, want.EnergyOptimal, want.CostOptimal, want.TCOOptimal, want.CarbonOptimal, want.Pruned})
 	if err != nil {
 		t.Fatal(err)
 	}
 	gb, err := json.Marshal(struct {
-		F       []Point
-		E, C, T Point
-		P       PruneSummary
-	}{got.Frontier, got.EnergyOptimal, got.CostOptimal, got.TCOOptimal, got.Pruned})
+		F, CF      []Point
+		E, C, T, G Point
+		P          PruneSummary
+	}{got.Frontier, got.CarbonFrontier, got.EnergyOptimal, got.CostOptimal, got.TCOOptimal, got.CarbonOptimal, got.Pruned})
 	if err != nil {
 		t.Fatal(err)
 	}

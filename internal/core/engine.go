@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"asiccloud/internal/carbon"
 	"asiccloud/internal/dram"
 	"asiccloud/internal/obs"
 	"asiccloud/internal/pareto"
@@ -168,6 +169,7 @@ func (e *Engine) Explore(sweep Sweep, model tco.Model) (Result, error) {
 //asic:hotpath
 func (e *Engine) evalGeometry(cfg server.Config, plan thermal.OptimizeResult,
 	stackedOptions []bool, voltages []float64, model tco.Model,
+	cm carbon.Model, embodiedKg float64,
 	pts []Point, column []server.Evaluation, sum *PruneSummary, ctr *exploreCounters) ([]Point, []server.Evaluation) {
 
 	for _, stacked := range stackedOptions {
@@ -184,7 +186,11 @@ func (e *Engine) evalGeometry(cfg server.Config, plan thermal.OptimizeResult,
 		}
 		for _, ev := range col {
 			//lint:ignore hotalloc appends into the per-worker scratch; capacity tops out at the largest chunk and growth amortizes to zero
-			pts = append(pts, Point{Evaluation: ev, TCO: model.Of(ev.DollarsPerOp, ev.WattsPerOp)})
+			pts = append(pts, Point{
+				Evaluation: ev,
+				TCO:        model.Of(ev.DollarsPerOp, ev.WattsPerOp),
+				Carbon:     cm.Of(embodiedKg, ev.Perf, ev.WallPower),
+			})
 			sum.Feasible++
 			ctr.feasible.Inc()
 		}
@@ -192,9 +198,12 @@ func (e *Engine) evalGeometry(cfg server.Config, plan thermal.OptimizeResult,
 	return pts, column
 }
 
-// pointDollars and pointWatts are the two Pareto objectives.
+// pointDollars and pointWatts are the two classic Pareto objectives;
+// pointTCO and pointCO2 are the axes of the carbon frontier.
 func pointDollars(p Point) float64 { return p.DollarsPerOp }
 func pointWatts(p Point) float64   { return p.WattsPerOp }
+func pointTCO(p Point) float64     { return p.TCOPerOp() }
+func pointCO2(p Point) float64     { return p.CO2PerOp() }
 
 // lessPoint is the deterministic total order results are reported in:
 // ascending $ per op/s, then W per op/s, then the configuration
@@ -318,7 +327,8 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 		chunkPoints = make([][]Point, numChunks)
 	}
 	fold := pareto.NewFold(pointDollars, pointWatts)
-	var energyAcc, costAcc, tcoAcc optAcc
+	carbonFold := pareto.NewFold(pointTCO, pointCO2)
+	var energyAcc, costAcc, tcoAcc, carbonAcc optAcc
 	var (
 		mu        sync.Mutex
 		wg        sync.WaitGroup
@@ -344,9 +354,11 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 			var (
 				localSum   PruneSummary
 				localFold  *pareto.Fold[Point]
+				localCFold *pareto.Fold[Point]
 				localE     optAcc
 				localC     optAcc
 				localT     optAcc
+				localCO2   optAcc
 				workerFrom = time.Now()
 				busy       time.Duration
 				// Per-worker scratch, reused across every chunk this
@@ -360,6 +372,7 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 			)
 			if !keep {
 				localFold = pareto.NewFold(pointDollars, pointWatts)
+				localCFold = pareto.NewFold(pointTCO, pointCO2)
 			}
 			for ctx.Err() == nil {
 				c := int(nextChunk.Add(1)) - 1
@@ -396,9 +409,11 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 				} else {
 					for _, p := range scratch {
 						localFold.Add(p)
+						localCFold.Add(p)
 						localE.add(p.WattsPerOp, p)
 						localC.add(p.DollarsPerOp, p)
 						localT.add(p.TCOPerOp(), p)
+						localCO2.add(p.CO2PerOp(), p)
 					}
 				}
 				chunkSpan.End()
@@ -411,9 +426,11 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 			summary.merge(localSum)
 			if !keep {
 				fold.Merge(localFold)
+				carbonFold.Merge(localCFold)
 				energyAcc.merge(localE)
 				costAcc.merge(localC)
 				tcoAcc.merge(localT)
+				carbonAcc.merge(localCO2)
 			}
 			mu.Unlock()
 		}(w)
@@ -466,12 +483,17 @@ func (e *Engine) ExploreContext(ctx context.Context, sweep Sweep, model tco.Mode
 		if i := pareto.ArgMin(points, Point.TCOPerOp); i >= 0 {
 			res.TCOOptimal = points[i]
 		}
+		if i := pareto.ArgMin(points, Point.CO2PerOp); i >= 0 {
+			res.CarbonOptimal = points[i]
+		}
+		cfr := pareto.Frontier(points, pointTCO, pointCO2)
+		res.CarbonFrontier = pareto.Select(points, cfr)
 	} else {
 		// finishFold applies the same sort → Frontier normalization the
 		// retaining path does, so the frontier is byte-identical; it is
 		// shared with ResultMerger.Finish, which is what keeps a
 		// distributed merge byte-identical to this path too.
-		finishFold(fold, energyAcc, costAcc, tcoAcc, &res)
+		finishFold(fold, carbonFold, energyAcc, costAcc, tcoAcc, carbonAcc, &res)
 	}
 	paretoSpan.End()
 	rec.Gauge("asiccloud_explore_frontier_size").Set(float64(len(res.Frontier)))

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"asiccloud/internal/carbon"
 	"asiccloud/internal/obs"
 	"asiccloud/internal/server"
 	"asiccloud/internal/tco"
@@ -38,6 +39,13 @@ type Sweep struct {
 
 	// Stacked additionally evaluates voltage-stacked variants.
 	Stacked bool
+
+	// Carbon selects the emission model behind every point's CO2e
+	// metrics; nil selects carbon.Default(). Like the TCO model it is
+	// part of the design question, not an execution option: two sweeps
+	// with different carbon models answer different questions (and the
+	// service hashes it accordingly).
+	Carbon *carbon.Model
 
 	// Progress, when non-nil, is invoked as each deduplicated geometry
 	// cell is claimed for evaluation, with the count of geometries
@@ -85,15 +93,20 @@ func VoltageGrid(lo, hi float64) []float64 {
 	return out
 }
 
-// Point is one feasible design with its TCO.
+// Point is one feasible design with its TCO and carbon footprint.
 type Point struct {
 	server.Evaluation
-	TCO tco.Breakdown
+	TCO    tco.Breakdown
+	Carbon carbon.Breakdown
 }
 
 // TCOPerOp is the headline metric: TCO per unit performance over the
 // server lifetime.
 func (p Point) TCOPerOp() float64 { return p.TCO.Total() }
+
+// CO2PerOp is the carbon analogue: kg CO2e per unit performance over
+// the amortization lifetime, embodied plus operational.
+func (p Point) CO2PerOp() float64 { return p.Carbon.Total() }
 
 // Prune reasons: why a generated candidate configuration was rejected
 // before reaching the feasible set. These are the label values of the
@@ -190,6 +203,14 @@ type Result struct {
 	EnergyOptimal Point
 	CostOptimal   Point
 	TCOOptimal    Point
+	// CarbonOptimal minimizes CO2e per op/s — the sustainability
+	// objective's answer to TCOOptimal.
+	CarbonOptimal Point
+	// CarbonFrontier is the Pareto-optimal subset under (TCO per op/s,
+	// kg CO2e per op/s) minimization, ordered by ascending TCO per
+	// op/s: the designs for which spending less money costs more
+	// carbon and vice versa.
+	CarbonFrontier []Point
 	// Pruned accounts for the whole generated space: why each
 	// infeasible candidate was rejected. It is populated even when
 	// Explore returns an error, so "empty design space" failures report

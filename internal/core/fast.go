@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"asiccloud/internal/carbon"
 	"asiccloud/internal/dram"
 	"asiccloud/internal/server"
 	"asiccloud/internal/tco"
@@ -21,6 +22,12 @@ const coarseStepV = 0.05
 // Engine so both paths reuse the same thermal-plan cache.
 func FindTCOOptimal(sweep Sweep, model tco.Model) (Point, error) {
 	return NewEngine(nil).FindTCOOptimal(sweep, model)
+}
+
+// FindCarbonOptimal is the package-level fast path over a fresh Engine;
+// see Engine.FindCarbonOptimal.
+func FindCarbonOptimal(sweep Sweep, model tco.Model) (Point, error) {
+	return NewEngine(nil).FindCarbonOptimal(sweep, model)
 }
 
 // coarseIndices selects an ascending index subset of vs spaced at least
@@ -61,10 +68,37 @@ func coarseIndices(vs []float64, step float64) []int {
 // fast-path call after an Explore of the same space does no heat-sink
 // optimization at all.
 func (e *Engine) FindTCOOptimal(sweep Sweep, model tco.Model) (Point, error) {
+	return e.findOptimal(sweep, model, Point.TCOPerOp)
+}
+
+// FindCarbonOptimal locates the CO2e-optimal design with the same
+// coarse-then-refine voltage pass FindTCOOptimal uses. The carbon
+// objective shares TCO's trough shape in voltage for a fixed geometry:
+// dropping voltage cuts watts (the operational term falls) but also
+// cuts frequency and therefore throughput, so the fixed embodied
+// emission is amortized over fewer op/s and its per-op share rises —
+// one falling term plus one rising term, single-troughed. Tests assert
+// agreement with Explore's CarbonOptimal.
+func (e *Engine) FindCarbonOptimal(sweep Sweep, model tco.Model) (Point, error) {
+	return e.findOptimal(sweep, model, Point.CO2PerOp)
+}
+
+// findOptimal is the shared coarse+refine scan: it evaluates the
+// geometry grid with full TCO and carbon metrics attached to every
+// point (so the winner is byte-identical to the corresponding Explore
+// optimum) and minimizes the given objective.
+func (e *Engine) findOptimal(sweep Sweep, model tco.Model, objective func(Point) float64) (Point, error) {
 	if err := model.Validate(); err != nil {
 		return Point{}, err
 	}
 	if err := sweep.Base.RCA.Validate(); err != nil {
+		return Point{}, err
+	}
+	cm := carbon.Default()
+	if sweep.Carbon != nil {
+		cm = *sweep.Carbon
+	}
+	if err := cm.Validate(); err != nil {
 		return Point{}, err
 	}
 
@@ -98,18 +132,23 @@ func (e *Engine) FindTCOOptimal(sweep Sweep, model tco.Model) (Point, error) {
 	}
 
 	var best *Point
+	var embodiedKg float64 // set per geometry, before the voltage scans
 	consider := func(cfg server.Config, plan thermal.OptimizeResult, v float64) float64 {
 		cfg.Voltage = v
 		ev, err := server.EvaluateWithPlan(cfg, plan)
 		if err != nil {
 			return math.Inf(1)
 		}
-		b := model.Of(ev.DollarsPerOp, ev.WattsPerOp)
-		if best == nil || b.Total() < best.TCOPerOp() {
-			p := Point{Evaluation: ev, TCO: b}
+		p := Point{
+			Evaluation: ev,
+			TCO:        model.Of(ev.DollarsPerOp, ev.WattsPerOp),
+			Carbon:     cm.Of(embodiedKg, ev.Perf, ev.WallPower),
+		}
+		obj := objective(p)
+		if best == nil || obj < objective(*best) {
 			best = &p
 		}
-		return b.Total()
+		return obj
 	}
 
 	seen := make(map[[3]int]bool)
@@ -141,6 +180,8 @@ func (e *Engine) FindTCOOptimal(sweep Sweep, model tco.Model) (Point, error) {
 				if err != nil {
 					continue
 				}
+				embodiedKg = cm.EmbodiedServerKg(cfg.Process, cfg.DieArea(),
+					cfg.ChipsPerLane*cfg.Lanes)
 
 				// Coarse pass over the spaced subset.
 				bestK, bestT := -1, math.Inf(1)

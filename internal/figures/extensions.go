@@ -72,5 +72,37 @@ func Extensions() ([]Artifact, error) {
 	out = append(out, render("ext-node", "28nm versus 40nm including NRE (paper §12)",
 		[]string{"node", "TCO_per_GHs", "mask_NRE_usd", "two_for_two_breakeven_usd"}, rows))
 
+	frontier, err := studies.CarbonFrontierStudy()
+	if err != nil {
+		return nil, err
+	}
+	rows = nil
+	for _, p := range frontier {
+		rows = append(rows, []string{
+			f("%.2f", p.VoltageV), f("%.1f", p.DieAreaMM2), f("%.3f", p.TCOPerOp),
+			f("%.3f", p.CO2KgPerOp), f("%.3f", p.EmbodiedKgPerOp), f("%.3f", p.OperationalKgPerOp),
+		})
+	}
+	out = append(out, render("ext-carbon", "TCO versus CO2e Pareto frontier (default carbon model)",
+		[]string{"voltage_V", "die_mm2", "TCO_per_GHs", "kgCO2e_per_GHs", "embodied_kg", "operational_kg"}, rows))
+
+	cross, err := studies.CarbonCrossoverStudy(
+		[]float64{1, 1.5, 2, 3},
+		[]float64{0.05, 0.10, 0.25, 0.50, 0.90, 1.00},
+		[]float64{475, 20},
+		studies.DefaultSubstrate())
+	if err != nil {
+		return nil, err
+	}
+	rows = nil
+	for _, b := range cross.Breakevens {
+		rows = append(rows, []string{
+			f("%.0f", b.GridGCO2ePerKWh), f("%.1f", b.LifetimeYears), f("%.4f", b.Utilization),
+		})
+	}
+	out = append(out, render("ext-carbon-crossover",
+		"ASIC-versus-reusable-substrate carbon break-even utilization by lifetime and grid intensity",
+		[]string{"grid_gCO2e_kWh", "asic_years", "breakeven_utilization"}, rows))
+
 	return out, nil
 }

@@ -330,7 +330,10 @@ func TestExtensions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantIDs := map[string]bool{"ext-sites": true, "ext-cooling": true, "ext-lifetime": true, "ext-node": true}
+	wantIDs := map[string]bool{
+		"ext-sites": true, "ext-cooling": true, "ext-lifetime": true, "ext-node": true,
+		"ext-carbon": true, "ext-carbon-crossover": true,
+	}
 	for _, a := range ext {
 		if !wantIDs[a.ID] {
 			t.Errorf("unexpected extension artifact %s", a.ID)

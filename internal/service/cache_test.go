@@ -28,8 +28,8 @@ func TestCacheLRUEviction(t *testing.T) {
 	c := newResultCache(2, obs.NewRecorder())
 	c.Put("a", []byte("A"))
 	c.Put("b", []byte("B"))
-	c.Get("a")               // promote a over b
-	c.Put("c", []byte("C"))  // evicts b, the least recently used
+	c.Get("a")              // promote a over b
+	c.Put("c", []byte("C")) // evicts b, the least recently used
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("b survived eviction although it was least recently used")
 	}

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHashObjectiveDefaultsToTCO: an omitted objective and an explicit
+// "tco" are the same question and must share a cache entry.
+func TestHashObjectiveDefaultsToTCO(t *testing.T) {
+	a := hashOf(t, `{"app":"bitcoin"}`)
+	b := hashOf(t, `{"app":"bitcoin","objective":"tco"}`)
+	if a != b {
+		t.Fatalf("omitted vs spelled objective changed hash: %s vs %s", a, b)
+	}
+}
+
+// TestHashObjectiveSeparatesCarbon: a carbon-objective request is a
+// different question — its echo field and optimization intent differ —
+// so it must not collide with the TCO request over the same sweep.
+func TestHashObjectiveSeparatesCarbon(t *testing.T) {
+	a := hashOf(t, `{"app":"bitcoin"}`)
+	b := hashOf(t, `{"app":"bitcoin","objective":"carbon"}`)
+	if a == b {
+		t.Fatal("carbon objective hashed identically to tco")
+	}
+}
+
+// TestHashIgnoresSpelledCarbonDefaults: writing out the default carbon
+// model field by field must hash identically to omitting the block.
+func TestHashIgnoresSpelledCarbonDefaults(t *testing.T) {
+	a := hashOf(t, `{"app":"bitcoin"}`)
+	b := hashOf(t, `{"app":"bitcoin","carbon":{
+		"wafer_kg_co2e":950,"package_kg_co2e":0.15,"heatsink_kg_co2e":1.1,
+		"board_kg_co2e":75,"grid_g_co2e_per_kwh":475,"pue":1.1,
+		"lifetime_years":1.5,"utilization":1.0}}`)
+	if a != b {
+		t.Fatalf("spelled-out default carbon model changed hash: %s vs %s", a, b)
+	}
+}
+
+// TestHashSeparatesCarbonParams: every carbon override that changes the
+// resolved model must change the hash.
+func TestHashSeparatesCarbonParams(t *testing.T) {
+	base := hashOf(t, `{"app":"bitcoin"}`)
+	for _, body := range []string{
+		`{"app":"bitcoin","carbon":{"wafer_kg_co2e":1200}}`,
+		`{"app":"bitcoin","carbon":{"grid_g_co2e_per_kwh":20}}`,
+		`{"app":"bitcoin","carbon":{"utilization":0.5}}`,
+		`{"app":"bitcoin","carbon":{"lifetime_years":3}}`,
+	} {
+		if hashOf(t, body) == base {
+			t.Errorf("carbon override did not change hash: %s", body)
+		}
+	}
+}
+
+// TestCanonicalizeRejectsBadCarbon covers the request-validation edges:
+// an unknown objective, a NaN-free but invalid model, and utilization
+// out of range must all fail before any sweep runs.
+func TestCanonicalizeRejectsBadCarbon(t *testing.T) {
+	cases := []struct {
+		body string
+		want string
+	}{
+		{`{"app":"bitcoin","objective":"dollars"}`, "unknown objective"},
+		{`{"app":"bitcoin","carbon":{"grid_g_co2e_per_kwh":-5}}`, "intensity"},
+		{`{"app":"bitcoin","carbon":{"utilization":1.5}}`, "utilization"},
+		{`{"app":"bitcoin","carbon":{"pue":0.8}}`, "PUE"},
+	}
+	for _, tc := range cases {
+		_, err := Canonicalize(decode(t, tc.body))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Canonicalize(%s) err = %v, want mention of %q", tc.body, err, tc.want)
+		}
+	}
+	// Zero intensity is a valid decarbonized grid, not an error.
+	if _, err := Canonicalize(decode(t, `{"app":"bitcoin","carbon":{"grid_g_co2e_per_kwh":0}}`)); err != nil {
+		t.Errorf("zero grid intensity rejected: %v", err)
+	}
+}
+
+// TestCanonicalObjectiveEcho: the resolved objective rides into the
+// canonical form (and from there into the result JSON).
+func TestCanonicalObjectiveEcho(t *testing.T) {
+	can, err := Canonicalize(decode(t, `{"app":"bitcoin","objective":"carbon"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if can.Objective != "carbon" {
+		t.Errorf("Objective = %q, want carbon", can.Objective)
+	}
+	if can.Carbon.GridGCO2ePerKWh != 475 {
+		t.Errorf("default grid intensity = %v, want 475", can.Carbon.GridGCO2ePerKWh)
+	}
+}

@@ -14,7 +14,9 @@ import (
 // the answer to a new question. (Within one process this is belt and
 // braces — the cache dies with the daemon — but it keeps the hash
 // stable enough to log and compare across runs of the same build.)
-const hashVersion = "asiccloudd/v1"
+// v2: the objective and carbon-model fields joined the canonical
+// encoding (and the result schema grew the carbon axis).
+const hashVersion = "asiccloudd/v2"
 
 // fstr formats a float for the canonical encoding: 'g' with the
 // shortest round-trip precision, so 0.5, 0.50 and 5e-1 — equal float64s
@@ -48,6 +50,12 @@ func (c Canonical) Hash() string {
 		fstr(m.ServerMarkup), fstr(m.InterestRate), fstr(m.LifetimeYears),
 		fstr(m.DCCapexPerWattYear), fstr(m.DCAmortYears),
 		fstr(m.ElectricityPerKWh), fstr(m.PUE))
+	fmt.Fprintf(h, "objective=%s\n", c.Objective)
+	cb := c.Carbon
+	fmt.Fprintf(h, "carbon=%s|%s|%s|%s|%s|%s|%s|%s\n",
+		fstr(cb.WaferKgCO2e), fstr(cb.PackageKgCO2e), fstr(cb.HeatSinkKgCO2e),
+		fstr(cb.BoardKgCO2e), fstr(cb.GridGCO2ePerKWh), fstr(cb.PUE),
+		fstr(cb.LifetimeYears), fstr(cb.Utilization))
 	return hex.EncodeToString(h.Sum(nil))
 }
 

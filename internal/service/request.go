@@ -8,6 +8,7 @@ import (
 	appbitcoin "asiccloud/internal/apps/bitcoin"
 	applitecoin "asiccloud/internal/apps/litecoin"
 	appxcode "asiccloud/internal/apps/xcode"
+	"asiccloud/internal/carbon"
 	"asiccloud/internal/core"
 	"asiccloud/internal/dram"
 	"asiccloud/internal/server"
@@ -35,6 +36,18 @@ type Request struct {
 	// TCO overrides individual datacenter-economics parameters; omitted
 	// fields keep tco.Default().
 	TCO *TCOSpec `json:"tco,omitempty"`
+
+	// Objective names the optimization axis the caller designs for:
+	// "tco" (the default) or "carbon". Every result carries all four
+	// optima and both frontiers regardless; the objective is recorded
+	// in the result (and in the request hash, so differently-aimed
+	// requests never share a cache entry).
+	Objective string `json:"objective,omitempty"`
+
+	// Carbon overrides individual emission-model parameters; omitted
+	// fields keep carbon.Default(). Like TCO it is part of the design
+	// question and enters the request hash.
+	Carbon *CarbonSpec `json:"carbon,omitempty"`
 
 	// TimeoutSeconds caps this job's run time (s). Zero selects the
 	// server default; values above the server maximum are clamped. The
@@ -111,6 +124,31 @@ type TCOSpec struct {
 	PUE *float64 `json:"pue,omitempty"`
 }
 
+// CarbonSpec overrides carbon.Model fields; pointers distinguish
+// "omitted" from explicit zeros (a zero grid intensity — a fully
+// decarbonized grid — is meaningful and accepted).
+type CarbonSpec struct {
+	// WaferKgCO2e is the embodied emission of one processed wafer in
+	// kg CO2e.
+	WaferKgCO2e *float64 `json:"wafer_kg_co2e,omitempty"`
+	// PackageKgCO2e is the per-chip packaging emission in kg CO2e.
+	PackageKgCO2e *float64 `json:"package_kg_co2e,omitempty"`
+	// HeatSinkKgCO2e is the per-chip cooling-hardware emission in
+	// kg CO2e.
+	HeatSinkKgCO2e *float64 `json:"heatsink_kg_co2e,omitempty"`
+	// BoardKgCO2e is the per-server board/PSU/chassis emission in
+	// kg CO2e.
+	BoardKgCO2e *float64 `json:"board_kg_co2e,omitempty"`
+	// GridGCO2ePerKWh is the grid carbon intensity in g CO2e per kWh.
+	GridGCO2ePerKWh *float64 `json:"grid_g_co2e_per_kwh,omitempty"`
+	// PUE is the power usage effectiveness multiplier, dimensionless.
+	PUE *float64 `json:"pue,omitempty"`
+	// LifetimeYears is the amortization period in years.
+	LifetimeYears *float64 `json:"lifetime_years,omitempty"`
+	// Utilization is the average duty factor in (0, 1], dimensionless.
+	Utilization *float64 `json:"utilization,omitempty"`
+}
+
 // Canonical is a Request with every default resolved and every grid in
 // the exact order the engine will sweep it. Two requests that differ
 // only in JSON field order, spelled-out defaults, float formatting, or
@@ -138,6 +176,12 @@ type Canonical struct {
 	Stacked bool
 	// Model is the fully-resolved TCO model.
 	Model tco.Model
+	// Objective is the resolved optimization axis: "tco" or "carbon"
+	// (an omitted objective canonicalizes to "tco", so spelling the
+	// default hashes identically to omitting it).
+	Objective string
+	// Carbon is the fully-resolved emission model.
+	Carbon carbon.Model
 }
 
 // parseDRAMKind maps the JSON technology names onto dram.Kind.
@@ -311,12 +355,12 @@ func Canonicalize(req *Request) (Canonical, error) {
 	}
 
 	c.Model = tco.Default()
-	if o := req.TCO; o != nil {
-		apply := func(dst *float64, src *float64) {
-			if src != nil {
-				*dst = *src
-			}
+	apply := func(dst *float64, src *float64) {
+		if src != nil {
+			*dst = *src
 		}
+	}
+	if o := req.TCO; o != nil {
 		apply(&c.Model.ServerMarkup, o.ServerMarkup)
 		apply(&c.Model.InterestRate, o.InterestRate)
 		apply(&c.Model.LifetimeYears, o.LifetimeYears)
@@ -326,6 +370,29 @@ func Canonicalize(req *Request) (Canonical, error) {
 		apply(&c.Model.PUE, o.PUE)
 	}
 	if err := c.Model.Validate(); err != nil {
+		return Canonical{}, err
+	}
+
+	switch req.Objective {
+	case "", "tco":
+		c.Objective = "tco"
+	case "carbon":
+		c.Objective = "carbon"
+	default:
+		return Canonical{}, fmt.Errorf("unknown objective %q (want tco or carbon)", req.Objective)
+	}
+	c.Carbon = carbon.Default()
+	if o := req.Carbon; o != nil {
+		apply(&c.Carbon.WaferKgCO2e, o.WaferKgCO2e)
+		apply(&c.Carbon.PackageKgCO2e, o.PackageKgCO2e)
+		apply(&c.Carbon.HeatSinkKgCO2e, o.HeatSinkKgCO2e)
+		apply(&c.Carbon.BoardKgCO2e, o.BoardKgCO2e)
+		apply(&c.Carbon.GridGCO2ePerKWh, o.GridGCO2ePerKWh)
+		apply(&c.Carbon.PUE, o.PUE)
+		apply(&c.Carbon.LifetimeYears, o.LifetimeYears)
+		apply(&c.Carbon.Utilization, o.Utilization)
+	}
+	if err := c.Carbon.Validate(); err != nil {
 		return Canonical{}, err
 	}
 	return c, nil
@@ -346,6 +413,7 @@ func (c Canonical) Plan() (core.Sweep, tco.Model, error) {
 		}
 		base.DRAM = sub
 	}
+	cm := c.Carbon
 	return core.Sweep{
 		Base:           base,
 		Voltages:       c.Voltages,
@@ -353,5 +421,6 @@ func (c Canonical) Plan() (core.Sweep, tco.Model, error) {
 		ChipsPerLane:   c.ChipsPerLane,
 		DRAMPerASIC:    c.DRAMPerASIC,
 		Stacked:        c.Stacked,
+		Carbon:         &cm,
 	}, c.Model, nil
 }

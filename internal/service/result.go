@@ -41,6 +41,12 @@ type PointJSON struct {
 	DollarsPerOp float64 `json:"dollars_per_op"`
 	WattsPerOp   float64 `json:"watts_per_op"`
 	TCOPerOp     float64 `json:"tco_per_op"`
+	// CO2KgPerOp is the carbon scalar (kg CO2e per op/s over the
+	// amortization lifetime), with its embodied and operational shares
+	// alongside.
+	CO2KgPerOp            float64 `json:"co2_kg_per_op"`
+	EmbodiedCO2KgPerOp    float64 `json:"embodied_co2_kg_per_op"`
+	OperationalCO2KgPerOp float64 `json:"operational_co2_kg_per_op"`
 	// Describe is the CLI's one-line rendering of this point.
 	Describe string `json:"describe"`
 }
@@ -48,21 +54,24 @@ type PointJSON struct {
 // toPointJSON projects a core.Point onto the wire form.
 func toPointJSON(p core.Point) PointJSON {
 	return PointJSON{
-		VoltageV:     p.Config.Voltage,
-		ChipsPerLane: p.Config.ChipsPerLane,
-		Lanes:        p.Config.Lanes,
-		RCAsPerChip:  p.Config.RCAsPerChip,
-		DRAMPerASIC:  p.Config.DRAM.PerASIC,
-		Stacked:      p.Config.Stacked,
-		DieAreaMM2:   p.DieArea,
-		FreqMHz:      units.HzToMHz(p.Freq),
-		Perf:         p.Perf,
-		WallPowerW:   p.WallPower,
-		CostUSD:      p.Cost(),
-		DollarsPerOp: p.DollarsPerOp,
-		WattsPerOp:   p.WattsPerOp,
-		TCOPerOp:     p.TCOPerOp(),
-		Describe:     p.Describe(),
+		VoltageV:              p.Config.Voltage,
+		ChipsPerLane:          p.Config.ChipsPerLane,
+		Lanes:                 p.Config.Lanes,
+		RCAsPerChip:           p.Config.RCAsPerChip,
+		DRAMPerASIC:           p.Config.DRAM.PerASIC,
+		Stacked:               p.Config.Stacked,
+		DieAreaMM2:            p.DieArea,
+		FreqMHz:               units.HzToMHz(p.Freq),
+		Perf:                  p.Perf,
+		WallPowerW:            p.WallPower,
+		CostUSD:               p.Cost(),
+		DollarsPerOp:          p.DollarsPerOp,
+		WattsPerOp:            p.WattsPerOp,
+		TCOPerOp:              p.TCOPerOp(),
+		CO2KgPerOp:            p.CO2PerOp(),
+		EmbodiedCO2KgPerOp:    p.Carbon.EmbodiedKg,
+		OperationalCO2KgPerOp: p.Carbon.OperationalKg,
+		Describe:              p.Describe(),
 	}
 }
 
@@ -70,18 +79,25 @@ func toPointJSON(p core.Point) PointJSON {
 type ResultJSON struct {
 	// RequestHash is the canonical hash the result is cached under.
 	RequestHash string `json:"request_hash"`
-	// App and PerfUnit identify what the numbers measure.
-	App      string `json:"app"`
-	PerfUnit string `json:"perf_unit"`
+	// App and PerfUnit identify what the numbers measure; Objective is
+	// the axis the request designed for ("tco" or "carbon").
+	App       string `json:"app"`
+	PerfUnit  string `json:"perf_unit"`
+	Objective string `json:"objective"`
 	// Pruned is the engine's exact candidate accounting.
 	Pruned core.PruneSummary `json:"pruned"`
 	// Frontier is the Pareto frontier, ascending in $ per op/s.
 	Frontier []PointJSON `json:"frontier"`
+	// CarbonFrontier is the (TCO per op/s, kg CO2e per op/s) frontier,
+	// ascending in TCO per op/s.
+	CarbonFrontier []PointJSON `json:"carbon_frontier"`
 	// EnergyOptimal, CostOptimal and TCOOptimal are the three columns
-	// of the paper's per-application tables.
+	// of the paper's per-application tables; CarbonOptimal minimizes
+	// kg CO2e per op/s.
 	EnergyOptimal PointJSON `json:"energy_optimal"`
 	CostOptimal   PointJSON `json:"cost_optimal"`
 	TCOOptimal    PointJSON `json:"tco_optimal"`
+	CarbonOptimal PointJSON `json:"carbon_optimal"`
 }
 
 // marshalResult renders the engine's result to the exact bytes both the
@@ -91,17 +107,23 @@ type ResultJSON struct {
 // property of encoder stability.
 func marshalResult(c Canonical, res core.Result) ([]byte, error) {
 	out := ResultJSON{
-		RequestHash: c.Hash(),
-		App:         c.App,
-		PerfUnit:    c.RCA.PerfUnit,
-		Pruned:      res.Pruned,
-		Frontier:    make([]PointJSON, 0, len(res.Frontier)),
-		EnergyOptimal: toPointJSON(res.EnergyOptimal),
-		CostOptimal:   toPointJSON(res.CostOptimal),
-		TCOOptimal:    toPointJSON(res.TCOOptimal),
+		RequestHash:    c.Hash(),
+		App:            c.App,
+		PerfUnit:       c.RCA.PerfUnit,
+		Objective:      c.Objective,
+		Pruned:         res.Pruned,
+		Frontier:       make([]PointJSON, 0, len(res.Frontier)),
+		CarbonFrontier: make([]PointJSON, 0, len(res.CarbonFrontier)),
+		EnergyOptimal:  toPointJSON(res.EnergyOptimal),
+		CostOptimal:    toPointJSON(res.CostOptimal),
+		TCOOptimal:     toPointJSON(res.TCOOptimal),
+		CarbonOptimal:  toPointJSON(res.CarbonOptimal),
 	}
 	for _, p := range res.Frontier {
 		out.Frontier = append(out.Frontier, toPointJSON(p))
+	}
+	for _, p := range res.CarbonFrontier {
+		out.CarbonFrontier = append(out.CarbonFrontier, toPointJSON(p))
 	}
 	b, err := json.Marshal(out)
 	if err != nil {

@@ -1,0 +1,278 @@
+package studies
+
+import (
+	"fmt"
+	"math"
+
+	"asiccloud/internal/apps/bitcoin"
+	"asiccloud/internal/carbon"
+	"asiccloud/internal/server"
+	"asiccloud/internal/tco"
+	"asiccloud/internal/units"
+)
+
+// SubstrateModel describes a reusable-substrate cloud (FPGAs or another
+// reprogrammable fabric) implementing the same computation as the ASIC
+// cloud. Reusability costs silicon and power per op but amortizes the
+// embodied emission over a longer, better-utilized deployment, which is
+// exactly the tension the carbon crossover study quantifies.
+type SubstrateModel struct {
+	// AreaOverhead is the silicon area multiplier versus the ASIC,
+	// dimensionless: the substrate spends this many times more die area
+	// (and hence embodied emission) to implement the same function.
+	AreaOverhead float64
+
+	// PowerOverhead is the energy-per-op multiplier versus the ASIC,
+	// dimensionless.
+	PowerOverhead float64
+
+	// LifetimeYears is the substrate fleet's amortization period in
+	// years. Reusable hardware outlives any one workload because it is
+	// reprogrammed rather than scrapped.
+	LifetimeYears float64
+
+	// Utilization is the substrate fleet's average duty factor in
+	// (0, 1], dimensionless. Reusable clouds multiplex workloads, so
+	// this is typically high.
+	Utilization float64
+}
+
+// DefaultSubstrate returns an FPGA-class substrate: the classic
+// FPGA-versus-ASIC gap of ~18x area and ~9x energy per op (Kuon & Rose;
+// the GreenFPGA comparison uses the same band), amortized over a
+// 10-year multiplexed deployment at 90% utilization.
+func DefaultSubstrate() SubstrateModel {
+	return SubstrateModel{
+		AreaOverhead:  18,
+		PowerOverhead: 9,
+		LifetimeYears: 10,
+		Utilization:   0.9,
+	}
+}
+
+// Validate reports whether the substrate model is usable.
+func (s SubstrateModel) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"AreaOverhead", s.AreaOverhead},
+		{"PowerOverhead", s.PowerOverhead},
+		{"LifetimeYears", s.LifetimeYears},
+		{"Utilization", s.Utilization},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("studies: substrate %s must be finite, got %v", f.name, f.v)
+		}
+	}
+	if s.AreaOverhead <= 0 || s.PowerOverhead <= 0 {
+		return fmt.Errorf("studies: substrate overheads must be positive")
+	}
+	if s.LifetimeYears <= 0 {
+		return fmt.Errorf("studies: substrate lifetime must be positive")
+	}
+	if s.Utilization <= 0 || s.Utilization > 1 {
+		return fmt.Errorf("studies: substrate utilization %v must be in (0, 1]", s.Utilization)
+	}
+	return nil
+}
+
+// operationalKgPerOpYear is the operational emission rate in kg CO2e
+// per op/s-year of delivered work: the energy one op/s of capacity
+// draws through a year of full use, at the given grid intensity in
+// g CO2e/kWh. Idle hardware is assumed powered down (clock- and
+// power-gated), so per *delivered* op-year this rate is independent of
+// utilization — only the embodied amortization term depends on it.
+func operationalKgPerOpYear(wattsPerOp, pue, gridGCO2ePerKWh float64) float64 {
+	kwh := wattsPerOp * pue * units.HoursPerYear / units.WattsPerKilowatt
+	return units.GToKg(kwh * gridGCO2ePerKWh)
+}
+
+// CrossoverPoint is one cell of the (grid intensity, lifetime,
+// utilization) carbon comparison.
+type CrossoverPoint struct {
+	// GridGCO2ePerKWh is the grid carbon intensity in g CO2e/kWh.
+	GridGCO2ePerKWh float64
+	// LifetimeYears is the ASIC fleet's amortization period in years.
+	LifetimeYears float64
+	// Utilization is the ASIC fleet's duty factor in (0, 1],
+	// dimensionless.
+	Utilization float64
+	// ASICKgPerOpYear is the ASIC cloud's total emission in kg CO2e per
+	// op/s-year of delivered work.
+	ASICKgPerOpYear float64
+	// SubstrateKgPerOpYear is the substrate cloud's total emission in
+	// kg CO2e per op/s-year of delivered work.
+	SubstrateKgPerOpYear float64
+	// ASICWins reports whether the specialized cloud emits less.
+	ASICWins bool
+}
+
+// Breakeven is the closed-form crossover for one (grid intensity,
+// lifetime) pair.
+type Breakeven struct {
+	// GridGCO2ePerKWh is the grid carbon intensity in g CO2e/kWh.
+	GridGCO2ePerKWh float64
+	// LifetimeYears is the ASIC fleet's amortization period in years.
+	LifetimeYears float64
+	// Utilization is the ASIC duty factor (dimensionless) above which
+	// the ASIC cloud emits less than the substrate cloud. Values above
+	// 1 mean the ASIC never wins at this lifetime; +Inf means the
+	// substrate's rate is below even the ASIC's pure operational rate.
+	Utilization float64
+}
+
+// CrossoverStudy is the full output of CarbonCrossoverStudy: the
+// designed-once ASIC's carbon coordinates plus the operate-anywhere
+// comparison grid and its closed-form break-evens.
+type CrossoverStudy struct {
+	// EmbodiedKgPerOp is the carbon-optimal ASIC server's embodied
+	// emission in kg CO2e per op/s of capacity.
+	EmbodiedKgPerOp float64
+	// WattsPerOp is the carbon-optimal ASIC server's wall power in W
+	// per op/s.
+	WattsPerOp float64
+	// OptimalVoltage is the carbon-optimal design's logic voltage in V.
+	OptimalVoltage float64
+	// Rows is the comparison grid, ordered by (intensity, lifetime,
+	// utilization) in the input orders.
+	Rows []CrossoverPoint
+	// Breakevens has one closed-form entry per (intensity, lifetime).
+	Breakevens []Breakeven
+}
+
+// BreakevenUtilization solves asic(L, U) = substrate for U in closed
+// form. Per op/s-year of delivered work the ASIC emits
+//
+//	asic(L, U) = E/(L·U) + r
+//
+// (embodied E amortized over L·U op-years, plus operational rate r)
+// while the substrate emits the constant
+//
+//	sub = A·E/(Ls·Us) + P·r
+//
+// so the ASIC wins exactly when U > E / (L·(sub − r)). A result above
+// 1 means no feasible utilization rescues the ASIC at this lifetime;
+// +Inf (sub ≤ r, impossible with positive overheads) is returned
+// rather than a negative utilization.
+func BreakevenUtilization(embodiedKgPerOp, opRateKgPerOpYear, lifetimeYears float64, sub SubstrateModel) float64 {
+	subTotal := sub.AreaOverhead*embodiedKgPerOp/(sub.LifetimeYears*sub.Utilization) +
+		sub.PowerOverhead*opRateKgPerOpYear
+	denom := subTotal - opRateKgPerOpYear
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return embodiedKgPerOp / (lifetimeYears * denom)
+}
+
+// CarbonCrossoverStudy answers the sustainability question the carbon
+// model exists for: at what utilization and lifetime does a specialized
+// ASIC cloud beat a reusable-substrate cloud on total carbon? The ASIC
+// is designed once — the carbon-optimal Bitcoin server under the
+// default carbon model — and then *operated* across the (lifetime,
+// utilization) grid at each grid intensity, against a substrate fleet
+// running the same work. Specialization wins on operational carbon
+// (PowerOverhead times less energy per op) but loses on embodied
+// carbon per delivered op when the ASIC sits idle or is scrapped
+// early; the crossover is where those forces balance.
+func CarbonCrossoverStudy(lifetimes, utilizations, intensities []float64, sub SubstrateModel) (CrossoverStudy, error) {
+	if err := sub.Validate(); err != nil {
+		return CrossoverStudy{}, err
+	}
+	if len(lifetimes) == 0 || len(utilizations) == 0 || len(intensities) == 0 {
+		return CrossoverStudy{}, fmt.Errorf("studies: empty crossover grid")
+	}
+	for _, l := range lifetimes {
+		if l <= 0 {
+			return CrossoverStudy{}, fmt.Errorf("studies: non-positive lifetime %v", l)
+		}
+	}
+	for _, u := range utilizations {
+		if u <= 0 || u > 1 {
+			return CrossoverStudy{}, fmt.Errorf("studies: utilization %v outside (0, 1]", u)
+		}
+	}
+	for _, g := range intensities {
+		if g < 0 {
+			return CrossoverStudy{}, fmt.Errorf("studies: negative grid intensity %v", g)
+		}
+	}
+
+	res, err := engine.Explore(quickSweep(server.Default(bitcoin.RCA())), tco.Default())
+	if err != nil {
+		return CrossoverStudy{}, err
+	}
+	opt := res.CarbonOptimal
+	out := CrossoverStudy{
+		EmbodiedKgPerOp: opt.Carbon.EmbodiedKg,
+		WattsPerOp:      opt.WallPower / opt.Perf,
+		OptimalVoltage:  opt.Config.Voltage,
+	}
+	pue := carbon.Default().PUE
+
+	for _, g := range intensities {
+		opRate := operationalKgPerOpYear(out.WattsPerOp, pue, g)
+		subTotal := sub.AreaOverhead*out.EmbodiedKgPerOp/(sub.LifetimeYears*sub.Utilization) +
+			sub.PowerOverhead*opRate
+		for _, l := range lifetimes {
+			out.Breakevens = append(out.Breakevens, Breakeven{
+				GridGCO2ePerKWh: g,
+				LifetimeYears:   l,
+				Utilization:     BreakevenUtilization(out.EmbodiedKgPerOp, opRate, l, sub),
+			})
+			for _, u := range utilizations {
+				asic := out.EmbodiedKgPerOp/(l*u) + opRate
+				out.Rows = append(out.Rows, CrossoverPoint{
+					GridGCO2ePerKWh:      g,
+					LifetimeYears:        l,
+					Utilization:          u,
+					ASICKgPerOpYear:      asic,
+					SubstrateKgPerOpYear: subTotal,
+					ASICWins:             asic < subTotal,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// CarbonFrontierPoint is one point of the TCO-versus-CO2e Pareto
+// frontier, the carbon analogue of the paper's Pareto curves.
+type CarbonFrontierPoint struct {
+	// VoltageV is the design's logic voltage in V.
+	VoltageV float64
+	// DieAreaMM2 is the per-chip die area in mm².
+	DieAreaMM2 float64
+	// TCOPerOp is lifetime TCO in $ per op/s.
+	TCOPerOp float64
+	// CO2KgPerOp is total emission in kg CO2e per op/s over the
+	// lifetime, split into EmbodiedKgPerOp and OperationalKgPerOp.
+	CO2KgPerOp         float64
+	EmbodiedKgPerOp    float64
+	OperationalKgPerOp float64
+}
+
+// CarbonFrontierStudy returns the Bitcoin cloud's (TCO per op/s,
+// kg CO2e per op/s) Pareto frontier under the default models,
+// ascending in TCO — the dataset behind the ext-carbon figure. The
+// frontier exists because dollars and carbon price energy differently:
+// cheap electricity at a dirty grid intensity makes designs that are
+// TCO-attractive but carbon-heavy, and vice versa.
+func CarbonFrontierStudy() ([]CarbonFrontierPoint, error) {
+	res, err := engine.Explore(quickSweep(server.Default(bitcoin.RCA())), tco.Default())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CarbonFrontierPoint, 0, len(res.CarbonFrontier))
+	for _, p := range res.CarbonFrontier {
+		out = append(out, CarbonFrontierPoint{
+			VoltageV:           p.Config.Voltage,
+			DieAreaMM2:         p.DieArea,
+			TCOPerOp:           p.TCOPerOp(),
+			CO2KgPerOp:         p.CO2PerOp(),
+			EmbodiedKgPerOp:    p.Carbon.EmbodiedKg,
+			OperationalKgPerOp: p.Carbon.OperationalKg,
+		})
+	}
+	return out, nil
+}

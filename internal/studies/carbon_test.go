@@ -1,0 +1,103 @@
+package studies
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBreakevenUtilizationClosedForm: at the break-even utilization the
+// two clouds' per-op-year emissions must be equal, by construction.
+func TestBreakevenUtilizationClosedForm(t *testing.T) {
+	sub := DefaultSubstrate()
+	const embodied, opRate, lifetime = 0.3, 1.6, 1.5
+	u := BreakevenUtilization(embodied, opRate, lifetime, sub)
+	if !(u > 0) || math.IsInf(u, 1) {
+		t.Fatalf("breakeven utilization = %v", u)
+	}
+	asic := embodied/(lifetime*u) + opRate
+	subTotal := sub.AreaOverhead*embodied/(sub.LifetimeYears*sub.Utilization) + sub.PowerOverhead*opRate
+	if math.Abs(asic-subTotal) > 1e-9*subTotal {
+		t.Errorf("at break-even: asic %v != substrate %v", asic, subTotal)
+	}
+	// On a zero-carbon grid only embodied matters: the closed form
+	// reduces to Ls·Us/(L·A), independent of the operational rate.
+	u0 := BreakevenUtilization(embodied, 0, lifetime, sub)
+	want := sub.LifetimeYears * sub.Utilization / (lifetime * sub.AreaOverhead)
+	if math.Abs(u0-want) > 1e-12 {
+		t.Errorf("zero-grid break-even = %v, want %v", u0, want)
+	}
+}
+
+// TestCarbonCrossoverStudyConsistent runs the full study and checks the
+// grid agrees with the closed-form break-evens: every cell strictly
+// above its break-even utilization has the ASIC winning, every cell
+// below has the substrate winning.
+func TestCarbonCrossoverStudyConsistent(t *testing.T) {
+	s, err := CarbonCrossoverStudy(
+		[]float64{1, 1.5, 3},
+		[]float64{0.05, 0.25, 0.90},
+		[]float64{475, 20, 0},
+		DefaultSubstrate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s.EmbodiedKgPerOp > 0) || !(s.WattsPerOp > 0) {
+		t.Fatalf("degenerate design coordinates: %+v", s)
+	}
+	be := make(map[[2]float64]float64, len(s.Breakevens))
+	for _, b := range s.Breakevens {
+		be[[2]float64{b.GridGCO2ePerKWh, b.LifetimeYears}] = b.Utilization
+	}
+	for _, r := range s.Rows {
+		u := be[[2]float64{r.GridGCO2ePerKWh, r.LifetimeYears}]
+		if wantWin := r.Utilization > u; wantWin != r.ASICWins {
+			t.Errorf("grid %v g/kWh, %v yr, util %v: ASICWins=%v but break-even is %v",
+				r.GridGCO2ePerKWh, r.LifetimeYears, r.Utilization, r.ASICWins, u)
+		}
+	}
+	// Dirtier grids favor the ASIC: break-even utilization must not
+	// rise with grid intensity at fixed lifetime.
+	if be[[2]float64{475, 1.5}] >= be[[2]float64{20, 1.5}] {
+		t.Errorf("dirty-grid break-even %v not below clean-grid %v",
+			be[[2]float64{475, 1.5}], be[[2]float64{20, 1.5}])
+	}
+}
+
+// TestCarbonCrossoverStudyRejects covers input validation.
+func TestCarbonCrossoverStudyRejects(t *testing.T) {
+	good := DefaultSubstrate()
+	if _, err := CarbonCrossoverStudy(nil, []float64{0.5}, []float64{475}, good); err == nil {
+		t.Error("empty lifetimes accepted")
+	}
+	if _, err := CarbonCrossoverStudy([]float64{1}, []float64{1.5}, []float64{475}, good); err == nil {
+		t.Error("utilization above 1 accepted")
+	}
+	if _, err := CarbonCrossoverStudy([]float64{1}, []float64{0.5}, []float64{-1}, good); err == nil {
+		t.Error("negative intensity accepted")
+	}
+	bad := good
+	bad.Utilization = 0
+	if _, err := CarbonCrossoverStudy([]float64{1}, []float64{0.5}, []float64{475}, bad); err == nil {
+		t.Error("invalid substrate accepted")
+	}
+}
+
+// TestCarbonFrontierStudyShape: the figure dataset is a genuine
+// frontier — ascending TCO, strictly descending CO2e.
+func TestCarbonFrontierStudyShape(t *testing.T) {
+	pts, err := CarbonFrontierStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 2 {
+		t.Fatalf("frontier has %d points; the TCO/carbon tension should produce several", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TCOPerOp < pts[i-1].TCOPerOp {
+			t.Errorf("not ascending in TCO at %d", i)
+		}
+		if pts[i].CO2KgPerOp >= pts[i-1].CO2KgPerOp {
+			t.Errorf("not descending in CO2e at %d", i)
+		}
+	}
+}

@@ -51,6 +51,21 @@ const (
 // per-watt terms the TCO model works in.
 const WattsPerKilowatt = 1000.0
 
+// GramsPerKilogram converts gram-denominated intensities (e.g. the
+// g CO2e/kWh figures grid operators publish) into the kilogram terms
+// the carbon model works in.
+const GramsPerKilogram = 1000.0
+
+// GToKg converts a mass in g to kg.
+func GToKg(g float64) float64 { return g / GramsPerKilogram }
+
+// KgToG converts a mass in kg to g.
+func KgToG(kg float64) float64 { return kg * GramsPerKilogram }
+
+// KgToTonnes converts a mass in kg to metric tonnes, the scale
+// fleet-level carbon totals are quoted in.
+func KgToTonnes(kg float64) float64 { return kg * 1e-3 }
+
 // MM2ToM2 converts an area in mm² to m².
 func MM2ToM2(mm2 float64) float64 { return mm2 * 1e-6 }
 

@@ -30,9 +30,12 @@ echo "smoke_distributed: building asiccloudd and asiccloud"
 go build -o "$workdir/asiccloudd" ./cmd/asiccloudd
 go build -o "$workdir/asiccloud" ./cmd/asiccloud
 
-# The default bitcoin sweep: the same design space `asiccloud design
-# -app bitcoin` explores, so the CLI's answer is comparable verbatim.
-echo '{"app":"bitcoin"}' >"$workdir/req.json"
+# The default bitcoin sweep under the carbon objective: the same design
+# space `asiccloud design -app bitcoin` explores (the objective changes
+# what the caller optimizes for, not what is swept), so the CLI's TCO-
+# and carbon-optimal answers are both comparable verbatim — and the
+# byte-identity check covers the carbon frontier riding in the chunks.
+echo '{"app":"bitcoin","objective":"carbon"}' >"$workdir/req.json"
 
 # wait_for_pool FILE: parse the coordinator's stdout announcement.
 wait_for_pool() {
@@ -76,15 +79,24 @@ cmp -s "$workdir/once.json" "$workdir/dist.json" || {
 }
 echo "smoke_distributed: 3-worker result byte-identical to -once"
 
-# Property 2: the distributed TCO-optimal matches the CLI verbatim.
+# Property 2: the distributed TCO- and carbon-optimal answers match the
+# CLI verbatim.
+"$workdir/asiccloud" design -app bitcoin >"$workdir/cli.out"
 dist_line=$(jq -er .tco_optimal.describe "$workdir/dist.json")
-cli_line=$("$workdir/asiccloud" design -app bitcoin | sed -n 's/^TCO-optimal:[[:space:]]*//p')
+cli_line=$(sed -n 's/^TCO-optimal:[[:space:]]*//p' "$workdir/cli.out")
 [[ -n "$cli_line" ]] || fail "CLI printed no TCO-optimal line"
 if [[ "$dist_line" != "$cli_line" ]]; then
     printf 'distributed: %s\nCLI:         %s\n' "$dist_line" "$cli_line" >&2
     fail "distributed run and CLI disagree on the TCO-optimal design"
 fi
-echo "smoke_distributed: TCO-optimal matches CLI"
+dist_carbon=$(jq -er .carbon_optimal.describe "$workdir/dist.json")
+cli_carbon=$(sed -n 's/^carbon-optimal:[[:space:]]*//p' "$workdir/cli.out")
+[[ -n "$cli_carbon" ]] || fail "CLI printed no carbon-optimal line"
+if [[ "$dist_carbon" != "$cli_carbon" ]]; then
+    printf 'distributed: %s\nCLI:         %s\n' "$dist_carbon" "$cli_carbon" >&2
+    fail "distributed run and CLI disagree on the carbon-optimal design"
+fi
+echo "smoke_distributed: TCO- and carbon-optimal match CLI"
 
 # Property 3: prune accounting survives the merge exactly —
 # generated == feasible + sum of prune reasons + duplicates.

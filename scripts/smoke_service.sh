@@ -57,14 +57,41 @@ done
 curl -sf "$base/v1/sweeps/$job/result" >"$workdir/result1.json" || fail "GET result"
 
 # Property 1: the daemon's TCO-optimal point matches the CLI verbatim.
+"$workdir/asiccloud" design -app bitcoin >"$workdir/cli.out"
 daemon_line=$(jq -er .tco_optimal.describe "$workdir/result1.json")
-cli_line=$("$workdir/asiccloud" design -app bitcoin | sed -n 's/^TCO-optimal:[[:space:]]*//p')
+cli_line=$(sed -n 's/^TCO-optimal:[[:space:]]*//p' "$workdir/cli.out")
 [[ -n "$cli_line" ]] || fail "CLI printed no TCO-optimal line"
 if [[ "$daemon_line" != "$cli_line" ]]; then
     printf 'daemon: %s\nCLI:    %s\n' "$daemon_line" "$cli_line" >&2
     fail "daemon and CLI disagree on the TCO-optimal design"
 fi
 echo "smoke_service: daemon TCO-optimal matches CLI"
+
+# Property 1b: a carbon-objective sweep is its own cache entry, echoes
+# its objective, and its carbon-optimal answer matches the CLI verbatim.
+curl -sf -X POST "$base/v1/sweeps" -d '{"app":"bitcoin","objective":"carbon"}' >"$workdir/postc.json" \
+    || fail "carbon POST /v1/sweeps"
+jq -e '.cached != true' "$workdir/postc.json" >/dev/null \
+    || fail "carbon-objective request wrongly shared the tco cache entry"
+jobc=$(jq -er .id "$workdir/postc.json")
+state="queued"
+for _ in $(seq 1 200); do
+    state=$(curl -sf "$base/v1/sweeps/$jobc" | jq -er .state)
+    [[ "$state" == "done" || "$state" == "failed" || "$state" == "canceled" ]] && break
+    sleep 0.1
+done
+[[ "$state" == "done" ]] || fail "carbon job $jobc ended in state $state"
+curl -sf "$base/v1/sweeps/$jobc/result" >"$workdir/resultc.json" || fail "GET carbon result"
+jq -e '.objective == "carbon"' "$workdir/resultc.json" >/dev/null \
+    || fail "carbon result does not echo objective=carbon"
+daemon_carbon=$(jq -er .carbon_optimal.describe "$workdir/resultc.json")
+cli_carbon=$(sed -n 's/^carbon-optimal:[[:space:]]*//p' "$workdir/cli.out")
+[[ -n "$cli_carbon" ]] || fail "CLI printed no carbon-optimal line"
+if [[ "$daemon_carbon" != "$cli_carbon" ]]; then
+    printf 'daemon: %s\nCLI:    %s\n' "$daemon_carbon" "$cli_carbon" >&2
+    fail "daemon and CLI disagree on the carbon-optimal design"
+fi
+echo "smoke_service: daemon carbon-optimal matches CLI"
 
 # Property 2: an identical resubmission is a cache hit with the exact
 # same bytes.

@@ -38,6 +38,13 @@ lint-json:
 lint-changed:
 	./scripts/lint_changed.sh
 
+# Refresh every analyzer's golden files plus the wirehash canonical
+# fingerprint (internal/service/hash.fingerprint). Run after an
+# intentional analyzer-message or hash-schema change; commit the diff.
+.PHONY: lint-golden
+lint-golden:
+	go test ./internal/analysis/... -update
+
 # Worklist generator: full-suite findings land in results/lint.json
 # bucketed by analyzer, so a cleanup can be tackled one analyzer at a
 # time. Unlike `lint` it exits zero even with findings — it produces

@@ -4,13 +4,16 @@
 // (unitdoc), context discipline (ctxflow), goroutine cancellation
 // (goroleak), locks held across blocking operations (lockheld),
 // unit-mixing arithmetic (unitflow), hot-path allocation budgets
-// (hotalloc), span lifecycle on all CFG paths (spanend) and
-// observability naming conventions (obskeys). Most are dataflow-aware,
-// built on the control-flow graphs and call graph of
-// internal/analysis/cfg; hotalloc is interprocedural, propagating
-// per-function allocation summaries from //asic:hotpath roots. It is
-// stdlib-only and offline — packages are parsed and type-checked by
-// internal/analysis without external tooling.
+// (hotalloc), span lifecycle on all CFG paths (spanend), observability
+// naming conventions (obskeys), nondeterministic data reaching
+// serialized output (detflow), concurrent fan-in emitted without a
+// canonical order (foldorder) and canonical-hash schema drift against
+// the committed fingerprint (wirehash). Most are dataflow-aware, built
+// on the control-flow graphs and call graph of internal/analysis/cfg;
+// hotalloc, detflow and foldorder are interprocedural, propagating
+// per-function summaries (allocation counts, taint flows) bounded by
+// call depth. It is stdlib-only and offline — packages are parsed and
+// type-checked by internal/analysis without external tooling.
 //
 // Usage:
 //
@@ -32,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -40,75 +44,75 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
-	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
-	list := flag.Bool("list", false, "list available analyzers and exit")
-	diffRef := flag.String("diff", "", "only report diagnostics in files changed since this git ref")
-	group := flag.Bool("group", false, "with -json, bucket diagnostics by analyzer (fix-list form)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: asiclint [-json [-group]] [-analyzers a,b] [-diff ref] [-list] [patterns ...]\n")
-		flag.PrintDefaults()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("asiclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	diffRef := fs.String("diff", "", "only report diagnostics in files changed since this git ref")
+	group := fs.Bool("group", false, "with -json, bucket diagnostics by analyzer (fix-list form)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: asiclint [-json [-group]] [-analyzers a,b] [-diff ref] [-list] [patterns ...]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := suite.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 	if *names != "" {
 		picked, unknown := suite.ByName(strings.Split(*names, ","))
 		if unknown != "" {
-			fmt.Fprintf(os.Stderr, "asiclint: unknown analyzer %q\n", unknown)
+			available := make([]string, len(analyzers))
+			for i, a := range analyzers {
+				available[i] = a.Name
+			}
+			fmt.Fprintf(stderr, "asiclint: unknown analyzer %q; available: %s\n",
+				unknown, strings.Join(available, ", "))
 			return 2
 		}
 		analyzers = picked
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "asiclint:", err)
+		fmt.Fprintln(stderr, "asiclint:", err)
 		return 2
 	}
 	loader, err := analysis.NewLoader(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "asiclint:", err)
+		fmt.Fprintln(stderr, "asiclint:", err)
 		return 2
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "asiclint:", err)
+		fmt.Fprintln(stderr, "asiclint:", err)
 		return 2
 	}
 	diags, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "asiclint:", err)
+		fmt.Fprintln(stderr, "asiclint:", err)
 		return 2
 	}
 	if *diffRef != "" {
-		changed, err := analysis.ChangedFiles(cwd, *diffRef)
-		switch {
-		case errors.Is(err, analysis.ErrGitUnavailable):
-			// No git, or not a work tree (tarball checkouts, hermetic CI
-			// sandboxes). Reporting everything is the safe direction:
-			// strictly more findings than the filtered run, same exit
-			// semantics.
-			fmt.Fprintf(os.Stderr, "asiclint: -diff %s: %v; reporting the whole module\n", *diffRef, err)
-		case err != nil:
-			fmt.Fprintln(os.Stderr, "asiclint:", err)
+		diags, err = filterByDiff(diags, cwd, *diffRef, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "asiclint:", err)
 			return 2
-		default:
-			diags = analysis.FilterFiles(diags, changed)
 		}
 	}
 	if *jsonOut {
@@ -116,16 +120,33 @@ func run() int {
 		if *group {
 			write = analysis.WriteGroupedJSON
 		}
-		if err := write(os.Stdout, diags, cwd); err != nil {
-			fmt.Fprintln(os.Stderr, "asiclint:", err)
+		if err := write(stdout, diags, cwd); err != nil {
+			fmt.Fprintln(stderr, "asiclint:", err)
 			return 2
 		}
-	} else if err := analysis.WriteText(os.Stdout, diags, cwd); err != nil {
-		fmt.Fprintln(os.Stderr, "asiclint:", err)
+	} else if err := analysis.WriteText(stdout, diags, cwd); err != nil {
+		fmt.Fprintln(stderr, "asiclint:", err)
 		return 2
 	}
 	if len(diags) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// filterByDiff narrows diags to files changed since ref. When git is
+// missing, or the lint root is not a work tree (tarball checkouts,
+// hermetic CI sandboxes), it degrades to whole-module reporting with a
+// warning: strictly more findings than the filtered run, same exit
+// semantics.
+func filterByDiff(diags []analysis.Diagnostic, cwd, ref string, stderr io.Writer) ([]analysis.Diagnostic, error) {
+	changed, err := analysis.ChangedFiles(cwd, ref)
+	switch {
+	case errors.Is(err, analysis.ErrGitUnavailable):
+		fmt.Fprintf(stderr, "asiclint: -diff %s: %v; reporting the whole module\n", ref, err)
+		return diags, nil
+	case err != nil:
+		return nil, err
+	}
+	return analysis.FilterFiles(diags, changed), nil
 }

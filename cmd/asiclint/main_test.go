@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"asiccloud/internal/analysis"
+	"asiccloud/internal/analysis/suite"
+)
+
+func TestUnknownAnalyzerExitsTwoListingNames(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-analyzers", "nosuch"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, `unknown analyzer "nosuch"`) {
+		t.Errorf("stderr does not name the bad analyzer: %s", msg)
+	}
+	for _, a := range suite.Analyzers() {
+		if !strings.Contains(msg, a.Name) {
+			t.Errorf("stderr does not list available analyzer %s: %s", a.Name, msg)
+		}
+	}
+}
+
+func TestListPrintsEveryAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-list"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	for _, a := range suite.Analyzers() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output is missing %s", a.Name)
+		}
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestFilterByDiffFallsBackWithoutGit pins the -diff degradation path:
+// when git cannot run, every diagnostic is kept (whole-module mode) and
+// the degradation is announced on stderr rather than failing the run.
+func TestFilterByDiffFallsBackWithoutGit(t *testing.T) {
+	t.Setenv("PATH", t.TempDir()) // no git binary findable
+	diags := []analysis.Diagnostic{{Analyzer: "x", Message: "m"}}
+	var stderr bytes.Buffer
+	got, err := filterByDiff(diags, t.TempDir(), "HEAD", &stderr)
+	if err != nil {
+		t.Fatalf("filterByDiff without git: %v", err)
+	}
+	if len(got) != len(diags) {
+		t.Fatalf("fallback dropped diagnostics: got %d, want %d", len(got), len(diags))
+	}
+	if !strings.Contains(stderr.String(), "reporting the whole module") {
+		t.Errorf("fallback not announced on stderr: %s", stderr.String())
+	}
+}

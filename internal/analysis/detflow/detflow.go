@@ -1,0 +1,148 @@
+// Package detflow flags nondeterministic values flowing into the
+// repository's canonical outputs. The reproduction's headline claim —
+// chunked, distributed and cached sweeps are byte-identical to a
+// single-process run, and canonically-equal requests hash identically —
+// only holds if nothing order- or time-dependent reaches the bytes:
+// one unsorted map range folded into a result line, one wall-clock
+// reading formatted into a figure CSV, and the invariant dies silently.
+//
+// Sources of nondeterminism: iterating a map (a marker — the iteration
+// itself is fine until the visited order is accumulated into a
+// sequence), wall-clock reads (time.Now/Since/Until) and math/rand.
+// Sinks: JSON and CSV emission (encoding/json, encoding/csv), plus the
+// internals, arguments and results of functions marked with the
+// //asic:canonical directive — the canonical hash writer, the result
+// renderer, the frontier fold — where even un-accumulated map-order
+// markers are errors (strict). Sanitizers: the sort.* and slices.Sort*
+// family kills ordering taint (but cannot kill a clock or rand value —
+// sorting timestamps does not make them reproducible).
+//
+// Channel arrival order is deliberately not a detflow source: fan-in
+// ordering has its own analyzer (foldorder) with accumulation-aware
+// rules, and charging every channel receive here would flag the many
+// single-result handoffs that are perfectly deterministic.
+//
+// Suppress a deliberate exception with //lint:ignore detflow and a
+// justification, e.g. a timestamp field that is explicitly excluded
+// from the byte-identity contract.
+package detflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"asiccloud/internal/analysis"
+	"asiccloud/internal/analysis/taint"
+)
+
+// Analyzer is the detflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detflow",
+	Doc: "flags nondeterministic values (map iteration order, time.Now, math/rand) reaching " +
+		"canonical outputs: JSON/CSV emission and //asic:canonical functions",
+	Run: run,
+}
+
+// The kind vocabulary. kindMapOrder is a marker: it rides on loop
+// variables invisibly and only becomes reportable when an accumulation
+// promotes it to kindMapFold (or when a strict canonical sink sees it).
+const (
+	kindMapOrder taint.Kind = "map-order"
+	kindMapFold  taint.Kind = "map-fold"
+	kindClock    taint.Kind = "clock"
+	kindRand     taint.Kind = "rand"
+)
+
+// canonicalDirective marks byte-identity emitters: inside such a
+// function every write and the return value are strict sinks, and its
+// parameters become strict sinks at every call site (via summaries).
+const canonicalDirective = "asic:canonical"
+
+var spec = &taint.Spec{
+	Name:     "detflow",
+	MaxDepth: 4,
+	IsMarker: func(k taint.Kind) bool { return k == kindMapOrder },
+	SourceExpr: func(c *taint.Ctx, e ast.Expr) (taint.Source, bool) {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return taint.Source{}, false
+		}
+		fn := taint.CalleeOf(c, call)
+		if fn == nil || fn.Pkg() == nil {
+			return taint.Source{}, false
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				return taint.Source{
+					Pos:  call.Pos(),
+					Kind: kindClock,
+					Desc: "wall-clock reading (time." + fn.Name() + ")",
+				}, true
+			}
+		case "math/rand", "math/rand/v2":
+			return taint.Source{
+				Pos:  call.Pos(),
+				Kind: kindRand,
+				Desc: "math/rand value (rand." + fn.Name() + ")",
+			}, true
+		}
+		return taint.Source{}, false
+	},
+	RangeSource: func(c *taint.Ctx, rng *ast.RangeStmt) (taint.Source, bool) {
+		tv, ok := c.Info.Types[rng.X]
+		if !ok || tv.Type == nil {
+			return taint.Source{}, false
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return taint.Source{}, false
+		}
+		return taint.Source{
+			Pos:  rng.X.Pos(),
+			Kind: kindMapOrder,
+			Desc: "map iteration order (range over " + types.ExprString(rng.X) + ")",
+		}, true
+	},
+	Accum: func(c *taint.Ctx, pos token.Pos, target types.Type, elem taint.Taint) (taint.Source, bool) {
+		if taint.CommutativeAccum(target) {
+			return taint.Source{}, false
+		}
+		return taint.Source{
+			Pos:  pos,
+			Kind: kindMapFold,
+			Desc: "sequence accumulated in map iteration order",
+		}, true
+	},
+	Sanitize: func(c *taint.Ctx, call *ast.CallExpr) ([]int, func(taint.Kind) bool, bool, bool) {
+		if !taint.SortSanitizer(c, call) {
+			return nil, nil, false, false
+		}
+		kills := func(k taint.Kind) bool { return k == kindMapOrder || k == kindMapFold }
+		return []int{0}, kills, true, true
+	},
+	SinkCall: func(c *taint.Ctx, call *ast.CallExpr) (taint.Sink, bool) {
+		if sk, ok := taint.EmitterSink(c, call); ok {
+			return sk, true
+		}
+		return taint.CanonicalWriteSink(c, call, canonicalDirective)
+	},
+	ReturnSink: func(c *taint.Ctx) (taint.Sink, bool) {
+		return taint.CanonicalReturnSink(c, canonicalDirective)
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	taint.Run(pass, spec, func(f taint.Finding) {
+		via := ""
+		if f.Via != "" {
+			via = fmt.Sprintf(" (via %s)", f.Via)
+		}
+		pass.Reportf(f.Pos, "%s reaches %s%s — emit in a canonical order or drop the "+
+			"nondeterministic input, or //lint:ignore detflow with the determinism argument",
+			f.Source.Desc, f.Sink, via)
+	})
+	return nil
+}

@@ -1,0 +1,12 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"asiccloud/internal/analysis/atest"
+	"asiccloud/internal/analysis/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	atest.Run(t, detflow.Analyzer, "detflow", atest.Config{})
+}

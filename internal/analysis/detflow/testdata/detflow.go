@@ -1,0 +1,147 @@
+// Fixture for the detflow analyzer: nondeterministic values flowing
+// into canonical outputs. Positives and negatives are interleaved; the
+// golden file pins the exact diagnostics.
+package fixture
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- positives ---------------------------------------------------------
+
+// keysUnsorted accumulates map keys in iteration order and marshals
+// them: the classic byte-identity bug.
+func keysUnsorted(m map[string]int) ([]byte, error) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return json.Marshal(keys) // want: map-fold reaches json.Marshal
+}
+
+// clockStamp puts a wall-clock reading into the marshaled payload.
+func clockStamp(w io.Writer) error {
+	payload := struct {
+		At string `json:"at"`
+	}{At: time.Now().Format(time.RFC3339)}
+	return json.NewEncoder(w).Encode(payload) // want: clock reaches Encode
+}
+
+// randRow writes a random value into a CSV row.
+func randRow(w *csv.Writer) error {
+	row := []string{"config", fmt.Sprintf("%d", rand.Intn(10))}
+	return w.Write(row) // want: rand reaches csv.Writer.Write
+}
+
+// joined rebuilds a string in map order (self-referential accumulation,
+// no append involved).
+func joined(m map[string]float64) ([]byte, error) {
+	line := ""
+	for k, v := range m {
+		line = line + fmt.Sprintf("%s=%g;", k, v)
+	}
+	return json.Marshal(line) // want: map-fold reaches json.Marshal
+}
+
+// sumFloats folds map values into a float64: IEEE addition does not
+// commute, so the fold is order-dependent even without a sequence.
+func sumFloats(m map[string]float64) ([]byte, error) {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return json.Marshal(total) // want: map-fold reaches json.Marshal
+}
+
+// emitLine is a canonical emitter: everything it writes is part of the
+// byte-identity contract, so even a bare map key (marker taint, no
+// accumulation) is an error inside it.
+//
+//asic:canonical
+func emitLine(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintf(w, "%s\n", k) // want: map-order reaches canonical write (strict)
+	}
+}
+
+// throughHelper reaches json.Marshal through a module-local helper:
+// the summary's parameter-sink flow flags the call site.
+func throughHelper(m map[string]bool) []byte {
+	var order []string
+	for k := range m {
+		order = append(order, k)
+	}
+	return marshalHelper(order) // want: map-fold reaches json.Marshal via marshalHelper
+}
+
+func marshalHelper(v []string) []byte {
+	b, _ := json.Marshal(v)
+	return b
+}
+
+// helperResult receives a clock reading out of a helper's result: the
+// summary's result taint carries it across the call.
+func helperResult(w io.Writer) error {
+	return json.NewEncoder(w).Encode(stamp()) // want: clock reaches Encode via stamp
+}
+
+func stamp() string { return time.Now().String() }
+
+// --- negatives ---------------------------------------------------------
+
+// keysSorted is the sanctioned idiom: collect, sort, emit.
+func keysSorted(m map[string]int) ([]byte, error) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return json.Marshal(keys)
+}
+
+// mapCopy rebuilds a map from a map: the destination has no order, and
+// encoding/json sorts map keys, so nothing nondeterministic survives.
+func mapCopy(m map[string]int) ([]byte, error) {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return json.Marshal(out)
+}
+
+// countEntries folds map values into an int: integer addition commutes
+// exactly, so iteration order is invisible in the result.
+func countEntries(m map[string]int) ([]byte, error) {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return json.Marshal(n)
+}
+
+// singleLookup marshals one element fetched by key — no iteration.
+func singleLookup(m map[string]int) ([]byte, error) {
+	return json.Marshal(m["chip"])
+}
+
+// clockLogged reads the clock but only logs it; logging is not a
+// canonical output.
+func clockLogged() string {
+	return fmt.Sprintf("elapsed=%v", time.Since(time.Time{}))
+}
+
+// sortedThroughHelper sorts before handing off to the marshal helper.
+func sortedThroughHelper(m map[string]bool) []byte {
+	var order []string
+	for k := range m {
+		order = append(order, k)
+	}
+	sort.Strings(order)
+	return marshalHelper(order)
+}

@@ -82,6 +82,38 @@ func TestChangedFiles(t *testing.T) {
 	}
 }
 
+func TestChangedFilesRenamed(t *testing.T) {
+	root := initTestRepo(t)
+	git := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{
+			"-c", "user.name=test", "-c", "user.email=test@example.com",
+		}, args...)...)
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	git("mv", "committed.go", "renamed.go")
+
+	files, err := analysis.ChangedFiles(root, "HEAD")
+	if err != nil {
+		t.Fatalf("ChangedFiles after rename: %v", err)
+	}
+	// The new path must be reported — diagnostics in a renamed file are
+	// this change's problem. (Whether git also lists the old path depends
+	// on rename detection; a vanished path filters to nothing downstream.)
+	found := false
+	for _, f := range files {
+		if f == filepath.Join(root, "renamed.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("renamed file not in changed set: %v", files)
+	}
+}
+
 func TestChangedFilesBadRef(t *testing.T) {
 	root := initTestRepo(t)
 	_, err := analysis.ChangedFiles(root, "no-such-ref")

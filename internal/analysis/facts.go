@@ -26,6 +26,11 @@ type Facts struct {
 	// sites so analyzers reporting at foreign positions never duplicate.
 	allocs       map[*types.Func]*AllocSummary
 	allocClaimed map[token.Pos]bool
+
+	// memo is the open-ended run-wide store for analyzer substrates
+	// (see Pass.Memo). Keys are substrate-chosen; the framework only
+	// guarantees one value per key per Run.
+	memo map[any]any
 }
 
 // newFacts indexes the call graph and doc comments of every package in
@@ -37,6 +42,7 @@ func newFacts(pkgs []*Package) *Facts {
 		docs:         make(map[types.Object]string),
 		allocs:       make(map[*types.Func]*AllocSummary),
 		allocClaimed: make(map[token.Pos]bool),
+		memo:         make(map[any]any),
 	}
 	for _, pkg := range pkgs {
 		f.callgraph.AddPackage(pkg.Info, pkg.Files)
@@ -109,4 +115,21 @@ func (p *Pass) CallGraph() *cfg.CallGraph {
 // constant or package-level variable anywhere in the run, or "".
 func (p *Pass) DocOf(obj types.Object) string {
 	return p.facts.docs[obj]
+}
+
+// Memo returns the run-wide value stored under key, computing it with
+// fn on first request. It is how analyzer substrates built outside this
+// package (the taint engine in internal/analysis/taint) share their
+// interprocedural caches across every Pass of one Run — the same role
+// the allocs map plays for hotalloc — without the framework having to
+// know each substrate's types. Keys follow the comparable-key
+// discipline of context.Value: a substrate passes a private pointer or
+// defined type so two substrates can never collide.
+func (p *Pass) Memo(key any, fn func() any) any {
+	if v, ok := p.facts.memo[key]; ok {
+		return v
+	}
+	v := fn()
+	p.facts.memo[key] = v
+	return v
 }

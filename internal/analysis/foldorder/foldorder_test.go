@@ -1,0 +1,12 @@
+package foldorder_test
+
+import (
+	"testing"
+
+	"asiccloud/internal/analysis/atest"
+	"asiccloud/internal/analysis/foldorder"
+)
+
+func TestFoldorder(t *testing.T) {
+	atest.Run(t, foldorder.Analyzer, "foldorder", atest.Config{})
+}

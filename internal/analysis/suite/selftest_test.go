@@ -2,6 +2,7 @@ package suite_test
 
 import (
 	"bytes"
+	"os"
 	"testing"
 
 	"asiccloud/internal/analysis"
@@ -66,9 +67,40 @@ func TestSuiteNamesAreUnique(t *testing.T) {
 		"unitconv", "floatcmp", "droppederr", "unitdoc",
 		"ctxflow", "goroleak", "lockheld", "unitflow",
 		"hotalloc", "spanend", "obskeys",
+		"detflow", "foldorder", "wirehash",
 	} {
 		if !seen[name] {
 			t.Errorf("suite is missing analyzer %s: %v", name, seen)
+		}
+	}
+}
+
+// TestEveryAnalyzerDirIsRegistered walks internal/analysis/ and asserts
+// that each analyzer package directory contributes an analyzer to the
+// suite, so a new analyzer cannot be added without being wired into the
+// CLI and the lint gate. Infrastructure packages are skip-listed.
+func TestEveryAnalyzerDirIsRegistered(t *testing.T) {
+	infra := map[string]bool{
+		"atest":    true, // golden-test harness
+		"cfg":      true, // control-flow graphs
+		"suite":    true, // this package
+		"taint":    true, // taint/dataflow engine
+		"testdata": true, // framework fixtures
+	}
+	registered := make(map[string]bool)
+	for _, a := range suite.Analyzers() {
+		registered[a.Name] = true
+	}
+	entries, err := os.ReadDir("..")
+	if err != nil {
+		t.Fatalf("reading internal/analysis: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || infra[e.Name()] {
+			continue
+		}
+		if !registered[e.Name()] {
+			t.Errorf("internal/analysis/%s is not registered in suite.Analyzers()", e.Name())
 		}
 	}
 }

@@ -7,8 +7,10 @@ package suite
 import (
 	"asiccloud/internal/analysis"
 	"asiccloud/internal/analysis/ctxflow"
+	"asiccloud/internal/analysis/detflow"
 	"asiccloud/internal/analysis/droppederr"
 	"asiccloud/internal/analysis/floatcmp"
+	"asiccloud/internal/analysis/foldorder"
 	"asiccloud/internal/analysis/goroleak"
 	"asiccloud/internal/analysis/hotalloc"
 	"asiccloud/internal/analysis/lockheld"
@@ -17,14 +19,17 @@ import (
 	"asiccloud/internal/analysis/unitconv"
 	"asiccloud/internal/analysis/unitdoc"
 	"asiccloud/internal/analysis/unitflow"
+	"asiccloud/internal/analysis/wirehash"
 )
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxflow.Analyzer,
+		detflow.Analyzer,
 		droppederr.Analyzer,
 		floatcmp.Analyzer,
+		foldorder.Analyzer,
 		goroleak.Analyzer,
 		hotalloc.Analyzer,
 		lockheld.Analyzer,
@@ -33,6 +38,7 @@ func Analyzers() []*analysis.Analyzer {
 		unitconv.Analyzer,
 		unitdoc.Analyzer,
 		unitflow.Analyzer,
+		wirehash.Analyzer,
 	}
 }
 

@@ -72,27 +72,36 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
 // preceding a multi-line statement, a case clause, or an entry of a
 // composite literal failed to reach diagnostics reported on the
 // construct's later lines. Candidate constructs are statements
-// (including case and select clauses), const/var/type specs, struct
-// fields, and the direct elements of composite literals; when several
-// candidates begin on the target line the outermost one wins, so a
-// directive above `for` covers the whole loop, not just its init
-// statement.
+// (including case and select clauses, and go statements), const/var/type
+// specs, struct fields, and the direct elements of composite literals;
+// when several candidates begin on the target line the outermost one
+// wins, so a directive above `for` covers the whole loop, not just its
+// init statement. Stacked directives chain: when the line below a
+// directive holds another directive (suppressing different analyzers on
+// the same construct), the target line skips past the whole stack, so
+// every directive in it covers the construct underneath.
 func resolveRanges(fset *token.FileSet, f *ast.File, dirs []directive) {
 	if len(dirs) == 0 {
 		return
 	}
-	want := make(map[int]int, len(dirs)) // target start line -> dirs index
+	dirLine := make(map[int]bool, len(dirs))
 	for i := range dirs {
-		want[dirs[i].pos.Line+1] = i
+		dirLine[dirs[i].pos.Line] = true
+	}
+	want := make(map[int][]int, len(dirs)) // target start line -> dirs indices
+	for i := range dirs {
+		target := dirs[i].pos.Line + 1
+		for dirLine[target] {
+			target++
+		}
+		want[target] = append(want[target], i)
 	}
 	consider := func(n ast.Node) {
 		start := fset.Position(n.Pos()).Line
-		i, ok := want[start]
-		if !ok {
-			return
-		}
-		if end := fset.Position(n.End()).Line; end > dirs[i].endLine {
-			dirs[i].endLine = end
+		for _, i := range want[start] {
+			if end := fset.Position(n.End()).Line; end > dirs[i].endLine {
+				dirs[i].endLine = end
+			}
 		}
 	}
 	ast.Inspect(f, func(n ast.Node) bool {

@@ -108,6 +108,47 @@ func TestSuppression(t *testing.T) {
 	}
 }
 
+// TestSuppressionStacked pins three coverage cases: two stacked
+// directives (different analyzers) must BOTH extend over the construct
+// below the stack; a directive above a `go` statement covers the whole
+// spawned literal; a directive above a select comm clause covers the
+// clause body and nothing past it.
+func TestSuppressionStacked(t *testing.T) {
+	pkg, err := analysis.CheckSource("asiccloud/internal/fixture",
+		[]string{filepath.Join("testdata", "suppress_stack.go")})
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg},
+		[]*analysis.Analyzer{intFlagger("aflag"), intFlagger("bflag")})
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := analysis.WriteText(&buf, diags, ""); err != nil {
+		t.Fatalf("formatting diagnostics: %v", err)
+	}
+	got := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	want := []string{
+		// goStmt and selectClause carry no bflag directive, so bflag
+		// reports there; aflag only reports on the uncovered default
+		// clause. Nothing from stacked() survives.
+		`testdata/suppress_stack.go:16:7: bflag: literal 42`,
+		`testdata/suppress_stack.go:25:13: bflag: literal 42`,
+		`testdata/suppress_stack.go:27:9: aflag: literal 42`,
+		`testdata/suppress_stack.go:27:9: bflag: literal 42`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics mismatch\n--- got ---\n%s\n--- want ---\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d:\n  got  %s\n  want %s", i, got[i], want[i])
+		}
+	}
+}
+
 // TestSuppressionRanges pins the range-aware semantics: a directive on
 // the line preceding a multi-line composite-literal element, case
 // clause, or statement suppresses diagnostics anywhere inside that

@@ -1,0 +1,149 @@
+package taint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"asiccloud/internal/analysis"
+	"asiccloud/internal/analysis/cfg"
+)
+
+// Helpers shared by the specs built on this engine (detflow, foldorder):
+// the call-classification and directive queries every determinism spec
+// needs when deciding what is a source, sanitizer or sink.
+
+// CalleeOf resolves the named function or method a call invokes, or nil
+// for calls through function values, conversions and built-ins.
+func CalleeOf(c *Ctx, call *ast.CallExpr) *types.Func {
+	return cfg.Callee(c.Info, call)
+}
+
+// IsPkgFunc reports whether call invokes one of the named functions or
+// methods declared by the package with import path pkgPath.
+func IsPkgFunc(c *Ctx, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := CalleeOf(c, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// HasFuncDirective reports whether fn is a module-local declaration
+// whose doc comment carries the //name directive (e.g. asic:canonical).
+// It consults the run-wide call graph, so cross-package declarations
+// resolve too.
+func HasFuncDirective(c *Ctx, fn *types.Func, name string) bool {
+	if fn == nil {
+		return false
+	}
+	decl := c.Pass.CallGraph().DeclOf(fn)
+	if decl == nil {
+		return false
+	}
+	return analysis.HasDirective(decl.Doc, name)
+}
+
+// CommutativeAccum reports whether accumulating into target commutes
+// exactly, making accumulation order invisible in the result: integer
+// sums and boolean and/or folds. Float folds do not commute in IEEE
+// arithmetic, and slices, strings and maps-of-collected-order are
+// exactly the sequences determinism checking exists for.
+func CommutativeAccum(target types.Type) bool {
+	if target == nil {
+		return false
+	}
+	b, ok := target.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsInteger|types.IsBoolean) != 0
+}
+
+// EmitterSink classifies the standard library's structured emitters —
+// encoding/json and encoding/csv — as sinks on their payload argument.
+// These are where the repository's result, figure and report bytes are
+// actually produced.
+func EmitterSink(c *Ctx, call *ast.CallExpr) (Sink, bool) {
+	fn := CalleeOf(c, call)
+	if fn == nil || fn.Pkg() == nil {
+		return Sink{}, false
+	}
+	switch fn.Pkg().Path() {
+	case "encoding/json":
+		switch fn.Name() {
+		case "Marshal", "MarshalIndent":
+			return Sink{Desc: "json." + fn.Name(), Args: []int{0}}, true
+		case "Encode":
+			return Sink{Desc: "json.Encoder.Encode", Args: []int{0}}, true
+		}
+	case "encoding/csv":
+		switch fn.Name() {
+		case "Write", "WriteAll":
+			return Sink{Desc: "csv.Writer." + fn.Name(), Args: []int{0}}, true
+		}
+	}
+	return Sink{}, false
+}
+
+// CanonicalWriteSink classifies write-shaped calls (fmt.Fprint*,
+// io.WriteString, Write/WriteString/WriteByte/WriteRune methods) inside
+// a function carrying the given doc directive as strict sinks: inside a
+// canonical emitter everything written is part of the byte-identity
+// contract, markers included.
+func CanonicalWriteSink(c *Ctx, call *ast.CallExpr, directive string) (Sink, bool) {
+	if !HasFuncDirective(c, c.Fn, directive) {
+		return Sink{}, false
+	}
+	fn := CalleeOf(c, call)
+	if fn == nil {
+		return Sink{}, false
+	}
+	write := false
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "fmt":
+			switch fn.Name() {
+			case "Fprint", "Fprintf", "Fprintln":
+				write = true
+			}
+		case "io":
+			write = fn.Name() == "WriteString"
+		}
+	}
+	if !write {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			switch fn.Name() {
+			case "Write", "WriteString", "WriteByte", "WriteRune":
+				write = true
+			}
+		}
+	}
+	if !write {
+		return Sink{}, false
+	}
+	return Sink{Desc: "a canonical write in " + c.Fn.Name(), Strict: true}, true
+}
+
+// CanonicalReturnSink makes the results of a directive-marked function
+// strict sinks: what a canonical emitter returns IS the artifact.
+func CanonicalReturnSink(c *Ctx, directive string) (Sink, bool) {
+	if !HasFuncDirective(c, c.Fn, directive) {
+		return Sink{}, false
+	}
+	return Sink{Desc: "the canonical result of " + c.Fn.Name(), Strict: true}, true
+}
+
+// SortSanitizer classifies the standard library's sorting entry points:
+// sort.* and slices.Sort* establish a canonical order on their first
+// argument. The caller decides which kinds a sort actually kills.
+func SortSanitizer(c *Ctx, call *ast.CallExpr) bool {
+	return IsPkgFunc(c, call, "sort",
+		"Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s") ||
+		IsPkgFunc(c, call, "slices",
+			"Sort", "SortFunc", "SortStableFunc")
+}

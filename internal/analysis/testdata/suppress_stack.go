@@ -1,0 +1,30 @@
+// Fixture for stacked-directive and go/select suppression coverage.
+package fixture
+
+func stacked() []int {
+	//lint:ignore aflag stacked directives must both reach the literal below
+	//lint:ignore bflag stacked directives must both reach the literal below
+	xs := []int{
+		42,
+	}
+	return xs
+}
+
+func goStmt() {
+	//lint:ignore aflag the spawned literal is one statement
+	go func() {
+		_ = 42
+	}()
+}
+
+func selectClause(ch chan int) int {
+	out := 0
+	select {
+	//lint:ignore aflag the comm clause is covered through its body
+	case v := <-ch:
+		out = v + 42
+	default:
+		out = 42 // uncovered: reported
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+// Fixture: a canonical field (NewKnob) was added and hashed without a
+// hashVersion bump — the committed fingerprint predates it.
+package fixture
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+const hashVersion = "fixture/v1"
+
+type Model struct {
+	Markup float64
+	PUE    float64
+}
+
+type Canonical struct {
+	App      string
+	Voltages []float64
+	Model    Model
+	Stacked  bool
+	NewKnob  float64
+}
+
+func (c Canonical) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\napp=%s\n", hashVersion, c.App)
+	for _, v := range c.Voltages {
+		fmt.Fprintf(h, "%g,", v)
+	}
+	m := c.Model
+	fmt.Fprintf(h, "tco=%g|%g\n", m.Markup, m.PUE)
+	fmt.Fprintf(h, "stacked=%t\nknob=%g\n", c.Stacked, c.NewKnob)
+	return hex.EncodeToString(h.Sum(nil))
+}

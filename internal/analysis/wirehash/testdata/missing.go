@@ -1,0 +1,20 @@
+// Fixture: a canonical writer with no committed fingerprint at all.
+package fixture
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+const hashVersion = "fixture/v1"
+
+type Canonical struct {
+	App string
+}
+
+func (c Canonical) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\napp=%s\n", hashVersion, c.App)
+	return hex.EncodeToString(h.Sum(nil))
+}

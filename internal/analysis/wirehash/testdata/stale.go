@@ -1,0 +1,22 @@
+// Fixture: hashVersion was bumped but the committed fingerprint still
+// carries the old version string — regenerate it.
+package fixture
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+const hashVersion = "fixture/v2"
+
+type Canonical struct {
+	App     string
+	Stacked bool
+}
+
+func (c Canonical) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\napp=%s\nstacked=%t\n", hashVersion, c.App, c.Stacked)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,32 @@
+// Fixture: Objective exists on the struct and the committed fingerprint
+// says it is hashed, but the writer no longer reads it — and only
+// Model.Markup is reached through the alias, so Model.PUE silently fell
+// out of the digest too.
+package fixture
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+const hashVersion = "fixture/v1"
+
+type Model struct {
+	Markup float64
+	PUE    float64
+}
+
+type Canonical struct {
+	App       string
+	Objective string
+	Model     Model
+}
+
+func (c Canonical) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\napp=%s\n", hashVersion, c.App)
+	m := c.Model
+	fmt.Fprintf(h, "markup=%g\n", m.Markup)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,24 @@
+// Fixture: the schema changed under a proper hashVersion bump, but the
+// committed fingerprint was not refreshed afterwards.
+package fixture
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+const hashVersion = "fixture/v2"
+
+type Canonical struct {
+	App       string
+	Stacked   bool
+	Objective string
+}
+
+func (c Canonical) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\napp=%s\nstacked=%t\nobj=%s\n",
+		hashVersion, c.App, c.Stacked, c.Objective)
+	return hex.EncodeToString(h.Sum(nil))
+}

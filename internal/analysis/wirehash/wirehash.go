@@ -1,0 +1,418 @@
+// Package wirehash pins the canonical hash schema against a committed
+// golden fingerprint. The request cache, the result log and the
+// distributed byte-diff all key on Canonical.Hash(), and the rule
+// guarding them lives in a comment: "bump hashVersion whenever the
+// canonical encoding changes meaning". wirehash turns that comment into
+// a machine-checked invariant.
+//
+// In every package declaring a string constant named hashVersion, the
+// analyzer finds the writer — the method that folds the constant into a
+// digest — and fingerprints its schema: every field of the writer's
+// receiver struct (named struct-typed fields expanded one level, so the
+// embedded TCO/carbon models contribute per-field entries), each marked
+// hashed or unhashed by whether a receiver-rooted selector path reaches
+// it in the writer's body (local aliases like `m := c.Model` are
+// followed). The fingerprint — version string plus entries — is
+// compared against the committed <writer-file>.fingerprint:
+//
+//   - entries drifted, version unchanged: the real bug. A field was
+//     added, removed or un-hashed while old cache entries stay valid —
+//     bump hashVersion, then refresh the fingerprint.
+//   - version changed (or entries drifted with it): the schema change
+//     was versioned; the committed fingerprint is stale. Refresh it
+//     with `make lint-golden` (which reruns the goldens with -update).
+//
+// Either state is a diagnostic — the repo-wide run only goes green when
+// code, version and fingerprint agree — but the messages direct the two
+// different repairs. An unhashed field is deliberately still part of
+// the fingerprint: adding a request field that does NOT reach the
+// writer is exactly how canonically-different requests come to hash
+// identically, and the explicit `unhashed` entry forces that choice to
+// be visible and versioned.
+//
+// Bounds: the fingerprint records the set of hashed field paths, not
+// the order or formatting of the writes — reordering write statements
+// changes the bytes without changing the fingerprint and still needs a
+// manual bump (the hash.go comment keeps that duty). Paths are resolved
+// through plain selectors and single-level local aliases only.
+package wirehash
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"asiccloud/internal/analysis"
+)
+
+// Analyzer is the wirehash analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirehash",
+	Doc: "verifies the canonical hash schema (the receiver fields reaching the hashVersion " +
+		"writer) against the committed .fingerprint golden, so schema drift without a " +
+		"version bump cannot land",
+	Run: run,
+}
+
+// versionConst is the constant that names a package as hash-bearing.
+const versionConst = "hashVersion"
+
+// A Fingerprint is the statically-derived hash schema of one writer.
+type Fingerprint struct {
+	// Version is the hashVersion constant's value.
+	Version string
+	// Hashed maps each declared field path of the writer's receiver to
+	// whether a selector path in the writer's body reaches it.
+	Hashed map[string]bool
+	// File is the committed golden path: the writer's source file with
+	// .go replaced by .fingerprint.
+	File string
+	// Pos anchors diagnostics (the writer's name).
+	Pos token.Pos
+	// Writer names the method for messages.
+	Writer string
+}
+
+// Compute derives the fingerprint of the package's canonical writer, or
+// ok=false when the package declares no hashVersion constant or no
+// method using it. Exported so the regeneration test (`make
+// lint-golden`) and the analyzer share one definition.
+func Compute(fset *token.FileSet, files []*ast.File, info *types.Info) (*Fingerprint, bool) {
+	constObj := findVersionConst(files, info)
+	if constObj == nil {
+		return nil, false
+	}
+	c, ok := constObj.(*types.Const)
+	if !ok || c.Val().Kind() != constant.String {
+		return nil, false
+	}
+	decl, recv := findWriter(files, info, constObj)
+	if decl == nil {
+		return nil, false
+	}
+	st, ok := recv.Type().Underlying().(*types.Struct)
+	if !ok {
+		if ptr, isPtr := recv.Type().Underlying().(*types.Pointer); isPtr {
+			st, ok = ptr.Elem().Underlying().(*types.Struct)
+		}
+		if !ok {
+			return nil, false
+		}
+	}
+	paths := declaredPaths(st)
+	reached := reachedPaths(decl.Body, info, recv)
+	fp := &Fingerprint{
+		Version: constant.StringVal(c.Val()),
+		Hashed:  make(map[string]bool, len(paths)),
+		Pos:     decl.Name.Pos(),
+		Writer:  decl.Name.Name,
+	}
+	for _, p := range paths {
+		fp.Hashed[p] = reached(p)
+	}
+	file := fset.Position(decl.Pos()).Filename
+	fp.File = strings.TrimSuffix(file, ".go") + ".fingerprint"
+	return fp, true
+}
+
+// findVersionConst returns the hashVersion constant's object, or nil.
+func findVersionConst(files []*ast.File, info *types.Info) types.Object {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == versionConst {
+						return info.Defs[name]
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// findWriter returns the first method declaration whose body uses the
+// version constant, together with its receiver variable.
+func findWriter(files []*ast.File, info *types.Info, constObj types.Object) (*ast.FuncDecl, *types.Var) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			uses := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && info.Uses[id] == constObj {
+					uses = true
+				}
+				return !uses
+			})
+			if !uses {
+				continue
+			}
+			names := fd.Recv.List[0].Names
+			if len(names) == 0 {
+				continue
+			}
+			recv, _ := info.Defs[names[0]].(*types.Var)
+			if recv != nil {
+				return fd, recv
+			}
+		}
+	}
+	return nil, nil
+}
+
+// declaredPaths lists the receiver struct's field paths, expanding
+// named struct-typed fields one level (RCA.Area, Model.PUE, ...).
+func declaredPaths(st *types.Struct) []string {
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		ft := f.Type()
+		if ptr, ok := ft.Underlying().(*types.Pointer); ok {
+			ft = ptr.Elem()
+		}
+		if sub, ok := ft.Underlying().(*types.Struct); ok && sub.NumFields() > 0 {
+			for j := 0; j < sub.NumFields(); j++ {
+				out = append(out, f.Name()+"."+sub.Field(j).Name())
+			}
+			continue
+		}
+		out = append(out, f.Name())
+	}
+	return out
+}
+
+// reachedPaths walks the writer's body and returns a predicate over
+// declared paths: true when some receiver-rooted selector chain reaches
+// the path. An alias definition (`m := c.Model`) registers a new root
+// without itself counting as a read — so `m := c.Model` followed by no
+// use of m leaves every Model entry unhashed, exactly as the digest
+// sees it.
+func reachedPaths(body *ast.BlockStmt, info *types.Info, recv *types.Var) func(string) bool {
+	roots := map[types.Object][]string{recv: {}}
+	var reads [][]string
+	skip := make(map[ast.Node]bool)
+
+	chain := func(e ast.Expr) ([]string, bool) {
+		var parts []string
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				parts = append([]string{x.Sel.Name}, parts...)
+				e = x.X
+			case *ast.Ident:
+				obj := info.Uses[x]
+				if obj == nil {
+					obj = info.Defs[x]
+				}
+				if prefix, ok := roots[obj]; ok {
+					return append(append([]string{}, prefix...), parts...), true
+				}
+				return nil, false
+			default:
+				return nil, false
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if skip[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				path, ok := chain(n.Rhs[i])
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil {
+					roots[obj] = path
+					// Neither side of the alias definition is a read:
+					// the RHS chain only names the new root, and the
+					// LHS ident would otherwise resolve to the whole
+					// root path and mark every sub-field reached.
+					skip[n.Rhs[i]] = true
+					skip[id] = true
+				}
+			}
+			return true
+		case ast.Expr:
+			if path, ok := chain(n); ok && len(path) > 0 {
+				reads = append(reads, path)
+				return false
+			}
+		}
+		return true
+	})
+
+	return func(declared string) bool {
+		want := strings.Split(declared, ".")
+		for _, r := range reads {
+			if pathCovers(r, want) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// pathCovers reports whether read path r reaches declared path d:
+// equal, r a prefix of d (the whole sub-struct was read), or d a prefix
+// of r (a deeper member of the declared leaf was read).
+func pathCovers(r, d []string) bool {
+	n := len(r)
+	if len(d) < n {
+		n = len(d)
+	}
+	for i := 0; i < n; i++ {
+		if r[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Text renders the fingerprint in its committed form: a comment header,
+// the version line, then one sorted line per field path.
+func (fp *Fingerprint) Text() string {
+	var b strings.Builder
+	b.WriteString("# wirehash canonical-field fingerprint for " + fp.Writer + ".\n")
+	b.WriteString("# Regenerate with `make lint-golden` after an intentional hash-schema\n")
+	b.WriteString("# change — and bump " + versionConst + " whenever the encoding changes meaning.\n")
+	b.WriteString("version " + fp.Version + "\n")
+	paths := make([]string, 0, len(fp.Hashed))
+	for p := range fp.Hashed {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if fp.Hashed[p] {
+			b.WriteString("hashed " + p + "\n")
+		} else {
+			b.WriteString("unhashed " + p + "\n")
+		}
+	}
+	return b.String()
+}
+
+// parseFingerprint reads a committed fingerprint file's version and
+// entry set.
+func parseFingerprint(data string) (version string, hashed map[string]bool) {
+	hashed = make(map[string]bool)
+	for _, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "version "):
+			version = strings.TrimPrefix(line, "version ")
+		case strings.HasPrefix(line, "hashed "):
+			hashed[strings.TrimPrefix(line, "hashed ")] = true
+		case strings.HasPrefix(line, "unhashed "):
+			hashed[strings.TrimPrefix(line, "unhashed ")] = false
+		}
+	}
+	return version, hashed
+}
+
+// diffEntries describes the schema drift between committed and current
+// entry sets, in stable order.
+func diffEntries(committed, current map[string]bool) []string {
+	var all []string
+	seen := make(map[string]bool)
+	for p := range committed {
+		if !seen[p] {
+			seen[p] = true
+			all = append(all, p)
+		}
+	}
+	for p := range current {
+		if !seen[p] {
+			seen[p] = true
+			all = append(all, p)
+		}
+	}
+	sort.Strings(all)
+	var out []string
+	for _, p := range all {
+		cv, inC := committed[p]
+		nv, inN := current[p]
+		switch {
+		case !inC:
+			out = append(out, "+"+p)
+		case !inN:
+			out = append(out, "-"+p)
+		case cv != nv:
+			if nv {
+				out = append(out, p+" now hashed")
+			} else {
+				out = append(out, p+" now unhashed")
+			}
+		}
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	fp, ok := Compute(pass.Fset, pass.Files, pass.Info)
+	if !ok {
+		return nil
+	}
+	data, err := os.ReadFile(fp.File)
+	if err != nil {
+		pass.Reportf(fp.Pos, "canonical writer %s has no committed fingerprint %s — "+
+			"run `make lint-golden` to create it", fp.Writer, filepath.Base(fp.File))
+		return nil
+	}
+	wantVersion, wantHashed := parseFingerprint(string(data))
+	drift := diffEntries(wantHashed, fp.Hashed)
+	switch {
+	case len(drift) == 0 && wantVersion == fp.Version:
+		// Code, version and fingerprint agree.
+	case wantVersion == fp.Version:
+		pass.Reportf(fp.Pos, "canonical hash schema drifted without a %s bump (%s) — "+
+			"old cache entries would collide with the new encoding; bump %s, then "+
+			"run `make lint-golden` to refresh %s",
+			versionConst, strings.Join(drift, ", "), versionConst, filepath.Base(fp.File))
+	case len(drift) == 0:
+		pass.Reportf(fp.Pos, "%s changed (%q -> %q) but %s was not refreshed — "+
+			"run `make lint-golden`",
+			versionConst, wantVersion, fp.Version, filepath.Base(fp.File))
+	default:
+		pass.Reportf(fp.Pos, "canonical hash schema changed (%s) under a %s bump "+
+			"(%q -> %q) — run `make lint-golden` to refresh %s",
+			strings.Join(drift, ", "), versionConst, wantVersion, fp.Version,
+			filepath.Base(fp.File))
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package wirehash_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asiccloud/internal/analysis"
+	"asiccloud/internal/analysis/atest"
+	"asiccloud/internal/analysis/wirehash"
+)
+
+func TestWirehash(t *testing.T) {
+	for _, name := range []string{"clean", "drift", "unhashed", "stale", "versioned", "missing"} {
+		t.Run(name, func(t *testing.T) {
+			atest.Run(t, wirehash.Analyzer, name, atest.Config{})
+		})
+	}
+}
+
+// TestRepoFingerprint pins internal/service/hash.fingerprint to the
+// canonical rendering of the schema wirehash derives from hash.go. With
+// -update (`make lint-golden`) it rewrites the file; otherwise any
+// mismatch — drifted schema, stale version, hand-edited file — fails.
+func TestRepoFingerprint(t *testing.T) {
+	pkg := loadServicePackage(t, "")
+	fp, ok := wirehash.Compute(pkg.Fset, pkg.Files, pkg.Info)
+	if !ok {
+		t.Fatal("wirehash found no canonical writer in internal/service")
+	}
+	if atest.Update() {
+		if err := os.WriteFile(fp.File, []byte(fp.Text()), 0o644); err != nil {
+			t.Fatalf("updating %s: %v", fp.File, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(fp.File)
+	if err != nil {
+		t.Fatalf("reading %s (run `make lint-golden` to create it): %v", fp.File, err)
+	}
+	if got := fp.Text(); got != string(want) {
+		t.Errorf("%s is stale — run `make lint-golden`\n--- derived ---\n%s--- committed ---\n%s",
+			fp.File, got, want)
+	}
+}
+
+// TestDriftFailsWithoutVersionBump is the acceptance proof for the
+// analyzer: adding a canonical Request field to a copy of the real
+// service package without bumping hashVersion must produce a diagnostic
+// (and so exit 1 from asiclint).
+func TestDriftFailsWithoutVersionBump(t *testing.T) {
+	tmp := copyModule(t)
+
+	// Sanity: the untouched copy is clean against its fingerprint.
+	if diags := runWirehash(t, tmp); len(diags) != 0 {
+		t.Fatalf("unpatched copy not clean: %v", diags)
+	}
+
+	// Patch the fixture copy: one new canonical field, no version bump.
+	reqFile := filepath.Join(tmp, "internal", "service", "request.go")
+	src, err := os.ReadFile(reqFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const anchor = "type Canonical struct {"
+	if !strings.Contains(string(src), anchor) {
+		t.Fatalf("anchor %q not found in %s", anchor, reqFile)
+	}
+	patched := strings.Replace(string(src), anchor,
+		anchor+"\n\t// Extra is the drift probe added by the wirehash test.\n\tExtra float64", 1)
+	if err := os.WriteFile(reqFile, []byte(patched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := runWirehash(t, tmp)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 diagnostic after drift, got %d: %v", len(diags), diags)
+	}
+	msg := diags[0].Message
+	if !strings.Contains(msg, "without a hashVersion bump") || !strings.Contains(msg, "+Extra") {
+		t.Fatalf("diagnostic does not name the drift: %s", msg)
+	}
+}
+
+// runWirehash loads the service package of the module rooted at dir and
+// applies the analyzer through the standard pipeline.
+func runWirehash(t *testing.T, dir string) []analysis.Diagnostic {
+	t.Helper()
+	pkg := loadServicePackage(t, dir)
+	all, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{wirehash.Analyzer})
+	if err != nil {
+		t.Fatalf("running wirehash: %v", err)
+	}
+	// The real service sources carry //lint:ignore directives for
+	// analyzers outside this single-analyzer run; keep only wirehash's
+	// own diagnostics.
+	var diags []analysis.Diagnostic
+	for _, d := range all {
+		if d.Analyzer == wirehash.Analyzer.Name {
+			diags = append(diags, d)
+		}
+	}
+	return diags
+}
+
+// loadServicePackage type-checks asiccloud/internal/service from the
+// module rooted at dir ("" = the enclosing repository).
+func loadServicePackage(t *testing.T, dir string) *analysis.Package {
+	t.Helper()
+	if dir == "" {
+		dir = "."
+	}
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.Load(filepath.Join(loader.ModuleRoot, "internal", "service"))
+	if err != nil {
+		t.Fatalf("loading internal/service: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// copyModule copies the repository's go.mod, Go sources and fingerprint
+// goldens into a temp dir, so tests can mutate a full fixture copy of
+// the module without touching the real tree.
+func copyModule(t *testing.T) string {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	root := loader.ModuleRoot
+	tmp := t.TempDir()
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "results":
+				return filepath.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(tmp, rel), 0o755)
+		}
+		keep := rel == "go.mod" ||
+			(strings.HasSuffix(rel, ".go") && !strings.HasSuffix(rel, "_test.go")) ||
+			strings.HasSuffix(rel, ".fingerprint")
+		if !keep {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(tmp, rel), data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying module: %v", err)
+	}
+	return tmp
+}

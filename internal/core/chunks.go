@@ -422,6 +422,8 @@ func (m *ResultMerger) Finish() (Result, error) {
 // same duplicate tie-breaking the retaining path does, so both the
 // (dollars, watts) frontier and the (TCO, CO2e) frontier are
 // byte-identical however the points were folded.
+//
+//asic:canonical
 func finishFold(fold, cfold *pareto.Fold[Point], energy, cost, tcoOpt, carbonOpt optAcc, res *Result) {
 	surv := fold.Points()
 	sort.Slice(surv, func(i, j int) bool { return lessPoint(surv[i], surv[j]) })

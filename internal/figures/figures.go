@@ -33,6 +33,10 @@ type Artifact struct {
 	Rows  [][]string // parsed rows (header first) for tests
 }
 
+// render lays out one artifact's text and CSV forms. The row order it
+// is handed is the row order every regeneration must reproduce.
+//
+//asic:canonical
 func render(id, title string, header []string, rows [][]string) Artifact {
 	var text strings.Builder
 	fmt.Fprintf(&text, "%s — %s\n", strings.ToUpper(id), title)

@@ -198,6 +198,8 @@ type SpanNode struct {
 // BuildSpanTree nests spans by parent link, preserving start order
 // among siblings. Spans whose parent is absent (e.g. a remote parent
 // that lives in another process) become roots.
+//
+//asic:canonical
 func BuildSpanTree(spans []SpanInfo) []*SpanNode {
 	nodes := make(map[string]*SpanNode, len(spans))
 	order := make([]*SpanNode, 0, len(spans))

@@ -29,6 +29,8 @@ func fstr(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 // change the engine's result is written to the digest in a fixed order
 // with fixed formatting, and nothing else is. Execution options
 // (timeouts, worker counts) deliberately stay out.
+//
+//asic:canonical
 func (c Canonical) Hash() string {
 	h := sha256.New()
 	// fmt.Fprintf on a hash.Hash cannot fail (Write never returns an
@@ -60,6 +62,8 @@ func (c Canonical) Hash() string {
 }
 
 // writeFloats appends one canonical "name=v1,v2,...\n" line.
+//
+//asic:canonical
 func writeFloats(h io.Writer, name string, vs []float64) {
 	fmt.Fprintf(h, "%s=", name)
 	for i, v := range vs {
@@ -72,6 +76,8 @@ func writeFloats(h io.Writer, name string, vs []float64) {
 }
 
 // writeInts appends one canonical "name=v1,v2,...\n" line.
+//
+//asic:canonical
 func writeInts(h io.Writer, name string, vs []int) {
 	fmt.Fprintf(h, "%s=", name)
 	for i, v := range vs {

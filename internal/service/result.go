@@ -105,6 +105,8 @@ type ResultJSON struct {
 // job completion — rather than re-encoding per request — is what makes
 // "byte-identical on a cache hit" a structural guarantee instead of a
 // property of encoder stability.
+//
+//asic:canonical
 func marshalResult(c Canonical, res core.Result) ([]byte, error) {
 	out := ResultJSON{
 		RequestHash:    c.Hash(),
